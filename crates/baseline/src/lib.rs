@@ -1,0 +1,43 @@
+//! # ddcr-baseline — comparison MAC protocols
+//!
+//! The protocols CSMA/DDCR is measured against in the reproduction's
+//! experiments (E8):
+//!
+//! * [`CsmaCdStation`] — IEEE 802.3 1-persistent CSMA-CD with truncated
+//!   binary exponential backoff: the dominant LAN MAC of the paper's era,
+//!   stochastic and therefore unable to give hard deadline guarantees;
+//! * [`DcrStation`] — CSMA/DCR (802.3D, Le Lann & Rolin 1984): the
+//!   deterministic static-tree ancestor of CSMA/DDCR, bounded but
+//!   deadline-blind;
+//! * [`NpEdfOracle`] — centralized non-preemptive EDF with zero contention
+//!   overhead: the optimality reference [20, 21] CSMA/DDCR emulates in a
+//!   distributed way.
+//!
+//! All three implement [`ddcr_sim::Station`] and run on the same simulated
+//! broadcast medium as the real protocol, so comparisons isolate the MAC
+//! discipline itself.
+
+#![warn(missing_docs)]
+
+mod csma_cd;
+mod dcr;
+mod npedf;
+mod queue;
+
+pub use csma_cd::{CsmaCdCounters, CsmaCdStation};
+pub use dcr::{AccessMode, DcrCounters, DcrStation};
+pub use npedf::NpEdfOracle;
+pub use queue::{LocalQueue, QueueDiscipline};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CsmaCdStation>();
+        assert_send::<DcrStation>();
+        assert_send::<NpEdfOracle>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Local queue disciplines for the baseline protocols.
+
+use ddcr_sim::{Message, MessageId};
+use serde::{Deserialize, Serialize};
+
+/// Queue service order at a baseline station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// First-come, first-served (classical Ethernet drivers).
+    #[default]
+    Fifo,
+    /// Earliest absolute deadline first (isolates the MAC layer's effect
+    /// when comparing against CSMA/DDCR, which always runs local EDF).
+    Edf,
+}
+
+/// A small local queue with a pluggable service order.
+#[derive(Debug, Clone, Default)]
+pub struct LocalQueue {
+    discipline: QueueDiscipline,
+    items: Vec<Message>,
+}
+
+impl LocalQueue {
+    /// An empty queue with the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        LocalQueue {
+            discipline,
+            items: Vec::new(),
+        }
+    }
+
+    /// Inserts a message in service order.
+    pub fn push(&mut self, message: Message) {
+        let pos = match self.discipline {
+            QueueDiscipline::Fifo => {
+                let k = (message.arrival, message.id);
+                self.items
+                    .partition_point(|m| (m.arrival, m.id) <= k)
+            }
+            QueueDiscipline::Edf => {
+                let k = (message.absolute_deadline(), message.arrival, message.id);
+                self.items
+                    .partition_point(|m| (m.absolute_deadline(), m.arrival, m.id) <= k)
+            }
+        };
+        self.items.insert(pos, message);
+    }
+
+    /// The message that would be served next.
+    pub fn head(&self) -> Option<&Message> {
+        self.items.first()
+    }
+
+    /// Removes the head if it matches the given id.
+    pub fn pop_if(&mut self, id: MessageId) -> Option<Message> {
+        if self.head().map(|m| m.id) == Some(id) {
+            Some(self.items.remove(0))
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the head.
+    pub fn pop(&mut self) -> Option<Message> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items.remove(0))
+        }
+    }
+
+    /// Number of waiting messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcr_sim::{ClassId, SourceId, Ticks};
+
+    fn msg(id: u64, arrival: u64, deadline: u64) -> Message {
+        Message {
+            id: MessageId(id),
+            source: SourceId(0),
+            class: ClassId(0),
+            bits: 100,
+            arrival: Ticks(arrival),
+            deadline: Ticks(deadline),
+        }
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut q = LocalQueue::new(QueueDiscipline::Fifo);
+        q.push(msg(0, 50, 10)); // urgent but late arrival
+        q.push(msg(1, 10, 1_000));
+        assert_eq!(q.head().unwrap().id, MessageId(1));
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let mut q = LocalQueue::new(QueueDiscipline::Edf);
+        q.push(msg(0, 50, 10)); // DM 60
+        q.push(msg(1, 10, 1_000)); // DM 1010
+        assert_eq!(q.head().unwrap().id, MessageId(0));
+    }
+
+    #[test]
+    fn pop_if_checks_identity() {
+        let mut q = LocalQueue::new(QueueDiscipline::Fifo);
+        q.push(msg(0, 0, 10));
+        assert!(q.pop_if(MessageId(9)).is_none());
+        assert!(q.pop_if(MessageId(0)).is_some());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion benches for feasibility-condition evaluation (§4.3): the
+//! per-class cost of computing `B_DDCR`, which a deployment tool would run
+//! over every candidate dimensioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddcr_core::{feasibility, DdcrConfig, StaticAllocation};
+use ddcr_sim::MediumConfig;
+use ddcr_traffic::scenario;
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasibility");
+    let medium = MediumConfig::gigabit_ethernet();
+    for z in [4u32, 16, 64] {
+        let set = scenario::videoconference(z).unwrap();
+        let width = ddcr_core::network::recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(z, width).unwrap();
+        let allocation = StaticAllocation::round_robin(config.static_tree, z).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("videoconference", z),
+            &(set, config, allocation),
+            |b, (set, config, allocation)| {
+                b.iter(|| feasibility::evaluate(set, config, allocation, &medium).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the simulator and the MAC protocols: simulated
+//! channel-time per wall-clock second for CSMA/DDCR and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddcr_baseline::QueueDiscipline;
+use ddcr_bench::harness::{default_ddcr_config, run_protocol, ProtocolKind};
+use ddcr_sim::{MediumConfig, Ticks};
+use ddcr_traffic::{scenario, ScheduleBuilder};
+
+fn bench_protocol_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_run");
+    group.sample_size(10);
+    let medium = MediumConfig::ethernet();
+    let set = scenario::uniform(8, 8_000, Ticks(5_000_000), 0.4).unwrap();
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(2_000_000))
+        .unwrap();
+    let kinds = [
+        ProtocolKind::Ddcr(default_ddcr_config(&set, &medium)),
+        ProtocolKind::CsmaCd(QueueDiscipline::Fifo, 7),
+        ProtocolKind::Dcr(QueueDiscipline::Fifo),
+        ProtocolKind::NpEdf,
+    ];
+    for kind in &kinds {
+        group.bench_with_input(
+            BenchmarkId::new("drain_peak_load", kind.name()),
+            kind,
+            |b, kind| {
+                b.iter(|| {
+                    run_protocol(kind, &set, &schedule, medium, Ticks(10_000_000_000)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_idle_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    let medium = MediumConfig::ethernet();
+    let set = scenario::uniform(8, 8_000, Ticks(5_000_000), 0.4).unwrap();
+    let empty: Vec<ddcr_sim::Message> = vec![];
+    group.bench_function("idle_ddcr_100k_slots", |b| {
+        b.iter(|| {
+            let kind = ProtocolKind::Ddcr(default_ddcr_config(&set, &medium));
+            // Horizon run over an empty schedule measures raw slot cost.
+            let mut engine = ddcr_core::network::build_engine(
+                &set,
+                &default_ddcr_config(&set, &medium),
+                &ddcr_core::StaticAllocation::round_robin(
+                    default_ddcr_config(&set, &medium).static_tree,
+                    set.sources(),
+                )
+                .unwrap(),
+                medium,
+            )
+            .unwrap();
+            engine.add_arrivals(empty.clone()).unwrap();
+            engine.run_until(Ticks(512 * 100_000));
+            let _ = kind;
+            engine.stats().silence_slots
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_throughput, bench_idle_channel);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! **Experiment E13 — §3.1 channel efficiency**: "theoretical work …
+//! established that tree protocols achieve channel utilization ratios that
+//! are very close to theoretical upper bounds".
+//!
+//! Two complementary measurements:
+//!
+//! 1. **Analytic saturation efficiency** via the exact average-case table
+//!    ([`ddcr_tree::average`]): with `k` always-backlogged stations and
+//!    frames of `L` slot times, useful/total = `k·L / (k·L + A_t(k))`.
+//! 2. **Simulated saturation throughput** of the full CSMA/DDCR protocol:
+//!    all stations permanently backlogged, measured channel utilization.
+//!
+//! Expected shape: efficiency grows with frame size and stays within a
+//! few percent of 1 for Ethernet-scale frames — far above the classical
+//! slotted-ALOHA 1/e. The analytic figure is per search round (k uniformly
+//! random leaves); the protocol under sustained backlog amortizes searches
+//! over ν_i messages per source and can exceed it.
+//! Writes `results/exp_efficiency.csv`.
+
+use ddcr_bench::harness::{default_ddcr_config, run_protocol, ProtocolKind};
+use ddcr_bench::report::{ascii_chart, Csv, Series};
+use ddcr_bench::results_dir;
+use ddcr_sim::{MediumConfig, Ticks};
+use ddcr_traffic::{scenario, ScheduleBuilder};
+use ddcr_tree::{average::ExpectedSearchTable, SearchTimeTable, TreeShape};
+
+fn main() {
+    let shape = TreeShape::new(4, 3).expect("64-leaf quaternary");
+    let avg = ExpectedSearchTable::compute(shape).expect("average table");
+    let worst = SearchTimeTable::compute(shape).expect("worst table");
+    let mut csv = Csv::create(
+        &results_dir().join("exp_efficiency.csv"),
+        &[
+            "k",
+            "frame_slots",
+            "analytic_avg_efficiency",
+            "analytic_worst_efficiency",
+            "simulated_utilization",
+        ],
+    )
+    .expect("create csv");
+
+    println!("E13 — channel efficiency of tree-based resolution (64-leaf quaternary tree)");
+    println!(
+        "{:>3} {:>12} {:>14} {:>15} {:>14}",
+        "k", "frame_slots", "avg analytic", "worst analytic", "simulated"
+    );
+
+    let medium = MediumConfig::ethernet();
+    let mut avg_pts = Vec::new();
+    let mut sim_pts = Vec::new();
+    for k in [2u64, 4, 8, 16, 32] {
+        for frame_slots in [2.0f64, 8.0, 23.0] {
+            let eff_avg = avg.efficiency(k, frame_slots).expect("k in range");
+            let worst_slots = worst.xi(k).expect("k in range") as f64;
+            let eff_worst =
+                k as f64 * frame_slots / (k as f64 * frame_slots + worst_slots);
+
+            // Simulation: k stations, saturated with back-to-back bursts of
+            // frames of ~frame_slots slot times each, measured utilization.
+            let bits = (frame_slots * medium.slot_ticks as f64) as u64
+                - medium.overhead_bits.min((frame_slots as u64) * 100);
+            let sim_util = if frame_slots == 23.0 {
+                let set = scenario::uniform(k as u32, bits, Ticks(1_000_000_000), 0.999)
+                    .expect("scenario");
+                let schedule = ScheduleBuilder::peak_load(&set)
+                    .build(Ticks(40_000_000))
+                    .expect("schedule");
+                let summary = run_protocol(
+                    &ProtocolKind::Ddcr(default_ddcr_config(&set, &medium)),
+                    &set,
+                    &schedule,
+                    medium,
+                    Ticks(400_000_000_000),
+                )
+                .expect("run");
+                Some(summary.utilization)
+            } else {
+                None
+            };
+
+            println!(
+                "{:>3} {:>12} {:>14.4} {:>15.4} {:>14}",
+                k,
+                frame_slots,
+                eff_avg,
+                eff_worst,
+                sim_util.map_or("-".into(), |u| format!("{u:.4}"))
+            );
+            csv.row(&[
+                k.to_string(),
+                frame_slots.to_string(),
+                format!("{eff_avg:.6}"),
+                format!("{eff_worst:.6}"),
+                sim_util.map_or("-".into(), |u| format!("{u:.6}")),
+            ])
+            .expect("row");
+            if frame_slots == 23.0 {
+                avg_pts.push((k as f64, eff_avg));
+                if let Some(u) = sim_util {
+                    sim_pts.push((k as f64, u));
+                }
+            }
+        }
+    }
+    csv.finish().expect("flush");
+
+    println!();
+    println!(
+        "{}",
+        ascii_chart(
+            "saturation efficiency vs k (frames of 23 slots = 1500B on Ethernet)",
+            &[Series::new("a analytic", avg_pts.clone()), Series::new("s simulated", sim_pts.clone())],
+            56,
+            12,
+        )
+    );
+    // Shape: efficiency far above slotted-ALOHA's 1/e at Ethernet frame
+    // sizes. The analytic number is for ONE search round isolating k
+    // uniformly random leaves; the full protocol amortizes better under
+    // sustained backlogs (a static tree search drains up to ν_i messages
+    // per source), so the simulated utilization may exceed the per-round
+    // average — both must sit well above 0.85 and below 1.
+    for &(k, eff) in &avg_pts {
+        assert!(eff > 0.8, "analytic efficiency at k={k} unexpectedly low: {eff}");
+    }
+    for &(k, sim) in &sim_pts {
+        assert!(
+            sim > 0.85 && sim < 1.0,
+            "simulated utilization at k={k} out of expected band: {sim}"
+        );
+    }
+    println!("§3.1 shape (tree resolution keeps the channel nearly always useful): REPRODUCED");
+    println!("wrote results/exp_efficiency.csv");
+}

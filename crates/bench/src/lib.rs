@@ -1,0 +1,34 @@
+//! # ddcr-bench — experiment and figure-regeneration harness
+//!
+//! Shared infrastructure for the experiment binaries (`fig1`, `fig2`,
+//! `exp_*`) that regenerate every figure and quantitative claim of the
+//! paper, and for the Criterion benches. See `DESIGN.md` (per-experiment
+//! index) and `EXPERIMENTS.md` (paper-vs-measured record) at the repository
+//! root.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+/// The directory experiment binaries write CSV results into, created on
+/// demand (`results/` under the workspace root or current directory).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — experiment binaries cannot
+/// do anything useful without a results sink.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("cannot create results/ directory");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = super::results_dir();
+        assert!(dir.is_dir());
+    }
+}

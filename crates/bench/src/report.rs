@@ -1,0 +1,176 @@
+//! CSV output and terminal plotting for experiment binaries.
+
+use std::fmt::Display;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A simple CSV writer: header once, then rows of `Display`able cells.
+#[derive(Debug)]
+pub struct Csv {
+    out: BufWriter<File>,
+}
+
+impl Csv {
+    /// Creates (truncates) the file and writes the header row.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn create(path: &Path, header: &[&str]) -> std::io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(Csv { out })
+    }
+
+    /// Writes one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn row<D: Display>(&mut self, cells: &[D]) -> std::io::Result<()> {
+        let rendered: Vec<String> = cells.iter().map(ToString::to_string).collect();
+        writeln!(self.out, "{}", rendered.join(","))
+    }
+
+    /// Flushes buffered rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the flush.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// One named series for [`ascii_chart`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub label: String,
+    /// `(x, y)` points, assumed sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from anything convertible to `f64` pairs.
+    pub fn new(label: &str, points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        Series {
+            label: label.to_owned(),
+            points: points.into_iter().collect(),
+        }
+    }
+}
+
+/// Renders series as a fixed-size ASCII chart — enough to eyeball the
+/// *shape* of a figure (concavity, crossovers, who dominates) in a
+/// terminal; exact values go to CSV.
+pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    if all.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (x_min, x_max) = min_max(all.iter().map(|p| p.0));
+    let (y_min, y_max) = min_max(all.iter().map(|p| p.1));
+    let x_span = (x_max - x_min).max(f64::EPSILON);
+    let y_span = (y_max - y_min).max(f64::EPSILON);
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row;
+            if grid[row][col] == ' ' || grid[row][col] == glyph {
+                grid[row][col] = glyph;
+            } else {
+                grid[row][col] = '#'; // overlap
+            }
+        }
+    }
+    for (i, line) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:>10.1} ")
+        } else if i == height - 1 {
+            format!("{y_min:>10.1} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&y_label);
+        out.push('|');
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(11));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}x: {:.1} … {:.1}    legend: {}\n",
+        " ".repeat(11),
+        x_min,
+        x_max,
+        series
+            .iter()
+            .map(|s| format!("{}={}", s.label.chars().next().unwrap_or('*'), s.label))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("ddcr_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let mut csv = Csv::create(&path, &["k", "xi"]).unwrap();
+        csv.row(&[2, 11]).unwrap();
+        csv.row(&[4, 19]).unwrap();
+        csv.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "k,xi\n2,11\n4,19\n");
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let chart = ascii_chart(
+            "test",
+            &[
+                Series::new("exact", [(0.0, 0.0), (1.0, 1.0)]),
+                Series::new("bound", [(0.0, 1.0), (1.0, 2.0)]),
+            ],
+            20,
+            8,
+        );
+        assert!(chart.contains('e'));
+        assert!(chart.contains('b'));
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn chart_handles_empty_input() {
+        let chart = ascii_chart("empty", &[], 10, 5);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn chart_handles_constant_series() {
+        let chart = ascii_chart("flat", &[Series::new("f", [(0.0, 5.0), (1.0, 5.0)])], 10, 4);
+        assert!(chart.contains('f'));
+    }
+}

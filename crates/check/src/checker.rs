@@ -1,0 +1,288 @@
+//! The bounded model checker: drives CSMA/DDCR replicas through every
+//! scenario in a [`Scope`](crate::Scope) and checks the correctness
+//! properties the paper claims.
+//!
+//! Checked invariants, per scenario:
+//!
+//! * **Liveness** — every message is delivered within the slot budget;
+//! * **Exactly-once** — no duplicate or invented deliveries;
+//! * **Replica consistency** — all stations' shared-state digests agree
+//!   after every slot (the protocol is a replicated deterministic
+//!   automaton);
+//! * **Causality** — no delivery completes before `arrival + wire time`;
+//! * **EDF emulation** — when all messages arrive simultaneously from
+//!   distinct sources with absolute deadlines separated by at least two
+//!   deadline classes, delivery order is exactly EDF order.
+
+use crate::scope::Scope;
+use ddcr_core::{DdcrConfig, DdcrStation, StaticAllocation};
+use ddcr_sim::{Action, Frame, MediumConfig, Message, MessageId, Observation, Station, Ticks};
+
+/// A property violated by a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Not every message was delivered within the slot budget.
+    NotDrained {
+        /// Messages still queued.
+        backlog: usize,
+    },
+    /// A message was delivered more than once, or a delivery appeared for
+    /// a message never scheduled.
+    DuplicateOrInvented {
+        /// The offending message.
+        id: MessageId,
+    },
+    /// Two replicas disagreed on shared protocol state.
+    ReplicaDivergence {
+        /// Slot ordinal of the divergence.
+        step: u64,
+    },
+    /// A delivery completed before it physically could.
+    CausalityViolation {
+        /// The offending message.
+        id: MessageId,
+    },
+    /// Deliveries were not in EDF order although the scenario qualifies
+    /// for strict EDF emulation.
+    EdfOrderViolation {
+        /// Delivered order (message ids).
+        got: Vec<u64>,
+        /// EDF order (message ids).
+        expected: Vec<u64>,
+    },
+}
+
+/// One scenario's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Index into the scope's enumeration (replay with
+    /// [`Scope::scenario`]).
+    pub scenario_index: usize,
+    /// The violated property.
+    pub violation: Violation,
+}
+
+/// Aggregate result of checking a whole scope.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Scenarios enumerated.
+    pub scenarios: usize,
+    /// Scenarios that qualified for (and passed) the strict-EDF check.
+    pub edf_checked: usize,
+    /// All violations found, in enumeration order.
+    pub findings: Vec<Finding>,
+}
+
+impl CheckReport {
+    /// Whether the scope verified cleanly.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// The checker's protocol parameters (kept small so searches stay short).
+fn config(z: u32) -> (DdcrConfig, StaticAllocation, MediumConfig) {
+    let medium = MediumConfig::ethernet();
+    let config = DdcrConfig::for_sources(z, Ticks(100_000)).expect("checker config");
+    let allocation =
+        StaticAllocation::one_per_source(config.static_tree, z).expect("checker allocation");
+    (config, allocation, medium)
+}
+
+/// Exhaustively checks every scenario in the scope.
+///
+/// `slot_budget` bounds each scenario's length (a conforming network
+/// drains the small scopes within a few hundred slots; the budget exists
+/// to convert a liveness bug into a finding rather than a hang).
+pub fn check_scope(scope: &Scope, slot_budget: u64) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (index, scenario) in scope.scenarios().enumerate() {
+        report.scenarios += 1;
+        check_scenario(scope.stations, index, &scenario, slot_budget, &mut report);
+    }
+    report
+}
+
+/// Checks a single scenario (public so findings can be replayed and
+/// minimised by hand).
+pub fn check_scenario(
+    z: u32,
+    index: usize,
+    scenario: &[Message],
+    slot_budget: u64,
+    report: &mut CheckReport,
+) {
+    let (config, allocation, medium) = config(z);
+    let mut stations: Vec<DdcrStation> = (0..z)
+        .map(|i| {
+            DdcrStation::new(
+                ddcr_sim::SourceId(i),
+                config,
+                allocation.clone(),
+                medium.overhead_bits,
+            )
+            .expect("station")
+        })
+        .collect();
+    let mut arrivals = scenario.to_vec();
+    arrivals.sort_by_key(|m| (m.arrival, m.id));
+
+    let mut deliveries: Vec<(MessageId, Ticks)> = Vec::new();
+    let mut now = Ticks::ZERO;
+    let mut next = 0usize;
+    let mut step = 0u64;
+    let mut diverged = false;
+    while next < arrivals.len() || stations.iter().any(|s| s.backlog() > 0) {
+        if step >= slot_budget {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::NotDrained {
+                    backlog: stations.iter().map(|s| s.backlog()).sum(),
+                },
+            });
+            return;
+        }
+        step += 1;
+        while next < arrivals.len() && arrivals[next].arrival <= now {
+            let m = arrivals[next];
+            stations[m.source.0 as usize].deliver(m);
+            next += 1;
+        }
+        let frames: Vec<Frame> = stations
+            .iter_mut()
+            .filter_map(|s| match s.poll(now) {
+                Action::Transmit(f) => Some(f),
+                Action::Idle => None,
+            })
+            .collect();
+        let (obs, advance) = match frames.len() {
+            0 => (Observation::Silence, Ticks(medium.slot_ticks)),
+            1 => (Observation::Busy(frames[0]), frames[0].duration()),
+            _ => (
+                Observation::Collision { survivor: None },
+                Ticks(medium.slot_ticks),
+            ),
+        };
+        let next_free = now + advance;
+        if let Observation::Busy(f) = obs {
+            deliveries.push((f.message.id, next_free));
+        }
+        for s in stations.iter_mut() {
+            s.observe(now, next_free, &obs);
+        }
+        if !diverged {
+            let first = stations[0].shared_state_digest();
+            if stations[1..]
+                .iter()
+                .any(|s| s.shared_state_digest() != first)
+            {
+                report.findings.push(Finding {
+                    scenario_index: index,
+                    violation: Violation::ReplicaDivergence { step },
+                });
+                diverged = true; // report once, keep running other checks
+            }
+        }
+        now = next_free;
+    }
+
+    // Exactly-once.
+    let mut seen = std::collections::HashSet::new();
+    for &(id, _) in &deliveries {
+        let scheduled = scenario.iter().any(|m| m.id == id);
+        if !seen.insert(id) || !scheduled {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::DuplicateOrInvented { id },
+            });
+        }
+    }
+    if deliveries.len() != scenario.len() && seen.len() == deliveries.len() {
+        report.findings.push(Finding {
+            scenario_index: index,
+            violation: Violation::NotDrained {
+                backlog: scenario.len() - deliveries.len(),
+            },
+        });
+    }
+
+    // Causality.
+    for &(id, completed) in &deliveries {
+        let msg = scenario.iter().find(|m| m.id == id).expect("scheduled");
+        let wire = Ticks(msg.bits + medium.overhead_bits);
+        if completed < msg.arrival + wire {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::CausalityViolation { id },
+            });
+        }
+    }
+
+    // Strict EDF emulation, where the scenario qualifies: simultaneous
+    // arrivals, pairwise-distinct sources, DM separation ≥ 2 classes.
+    let (cfg, ..) = (config, &allocation, medium);
+    let c = cfg.class_width.as_u64();
+    let qualifies = {
+        let all_zero = scenario.iter().all(|m| m.arrival == Ticks::ZERO);
+        let mut sources: Vec<u32> = scenario.iter().map(|m| m.source.0).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let distinct_sources = sources.len() == scenario.len();
+        let mut dms: Vec<u64> =
+            scenario.iter().map(|m| m.absolute_deadline().as_u64()).collect();
+        dms.sort_unstable();
+        let separated = dms.windows(2).all(|p| p[1] - p[0] >= 2 * c);
+        all_zero && distinct_sources && separated
+    };
+    if qualifies {
+        report.edf_checked += 1;
+        let mut expected: Vec<&Message> = scenario.iter().collect();
+        expected.sort_by_key(|m| m.absolute_deadline());
+        let expected: Vec<u64> = expected.iter().map(|m| m.id.0).collect();
+        let got: Vec<u64> = deliveries.iter().map(|(id, _)| id.0).collect();
+        if got != expected {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::EdfOrderViolation { got, expected },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scope_verifies_clean() {
+        let scope = Scope::small();
+        let report = check_scope(&scope, 3_000);
+        assert_eq!(report.scenarios, scope.scenario_count());
+        assert!(
+            report.clean(),
+            "violations: {:?}",
+            &report.findings[..report.findings.len().min(5)]
+        );
+        assert!(report.edf_checked > 0, "EDF check never applied");
+    }
+
+    #[test]
+    fn single_scenario_replay_matches() {
+        let scope = Scope::small();
+        let mut report = CheckReport::default();
+        check_scenario(scope.stations, 7, &scope.scenario(7), 3_000, &mut report);
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_drained() {
+        // One slot is never enough to drain anything.
+        let scope = Scope::small();
+        let mut report = CheckReport::default();
+        check_scenario(scope.stations, 0, &scope.scenario(0), 1, &mut report);
+        assert!(matches!(
+            report.findings[0].violation,
+            Violation::NotDrained { .. }
+        ));
+    }
+}

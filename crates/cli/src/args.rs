@@ -1,0 +1,168 @@
+//! A small dependency-free argument parser: `--key value` flags after a
+//! subcommand, with typed getters and unknown-flag detection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a flag without a value, a value without a
+    /// flag, or a repeated flag.
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                args.command = iter.next();
+            }
+        }
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(ArgError(format!("expected --flag, got `{token}`")));
+            };
+            let Some(value) = iter.next() else {
+                return Err(ArgError(format!("flag --{key} is missing its value")));
+            };
+            if args.flags.insert(key.to_owned(), value).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Optional typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// Required typed flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when absent or unparsable.
+    pub fn require_typed<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| ArgError(format!("flag --{key}: cannot parse `{raw}`")))
+    }
+
+    /// Rejects flags outside the allowed set (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] naming the first unknown flag.
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key} (allowed: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args = Args::parse(["xi", "--m", "4", "--n", "3"]).unwrap();
+        assert_eq!(args.command(), Some("xi"));
+        assert_eq!(args.get("m"), Some("4"));
+        assert_eq!(args.require_typed::<u64>("n").unwrap(), 3);
+    }
+
+    #[test]
+    fn no_command_is_allowed() {
+        let args = Args::parse(["--k", "7"]).unwrap();
+        assert_eq!(args.command(), None);
+        assert_eq!(args.get_or::<u64>("k", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(["cmd", "stray"]).is_err());
+        assert!(Args::parse(["cmd", "--flag"]).is_err());
+        assert!(Args::parse(["cmd", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn typed_getters_validate() {
+        let args = Args::parse(["cmd", "--k", "abc"]).unwrap();
+        assert!(args.require_typed::<u64>("k").is_err());
+        assert!(args.get_or::<u64>("k", 1).is_err());
+        assert!(args.require("missing").is_err());
+        assert_eq!(args.get_or::<u64>("absent", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn allow_only_catches_typos() {
+        let args = Args::parse(["cmd", "--sources", "4", "--laod", "0.3"]).unwrap();
+        let err = args.allow_only(&["sources", "load"]).unwrap_err();
+        assert!(err.0.contains("--laod"));
+        assert!(args.allow_only(&["sources", "laod"]).is_ok());
+    }
+}

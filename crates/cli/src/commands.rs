@@ -1,0 +1,509 @@
+//! The `ddcr` subcommands: analysis, feasibility, dimensioning, and
+//! simulation front ends over the library crates.
+
+use crate::args::{ArgError, Args};
+use ddcr_baseline::QueueDiscipline;
+use ddcr_core::{dimensioning, feasibility, multibus, network, DdcrConfig, StaticAllocation};
+use ddcr_sim::{Engine, MediumConfig, SourceId, Ticks};
+use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
+use ddcr_tree::{asymptotic, closed_form, witness, SearchTimeTable, TreeShape};
+use std::fmt::Write as _;
+
+/// Top-level dispatch; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown commands, bad flags, or
+/// failed runs.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command() {
+        Some("xi") => cmd_xi(args).map_err(|e| e.to_string()),
+        Some("witness") => cmd_witness(args).map_err(|e| e.to_string()),
+        Some("feasibility") => cmd_feasibility(args),
+        Some("dimension") => cmd_dimension(args),
+        Some("simulate") => cmd_simulate(args),
+        Some("multibus") => cmd_multibus(args),
+        Some("check") => cmd_check(args),
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "\
+ddcr — CSMA/Deadline-Driven Collision Resolution toolkit (Hermant & Le Lann, ICDCS 1998)
+
+USAGE: ddcr <command> [--flag value]...
+
+COMMANDS
+  xi           worst-case tree-search times ξ_k^t
+                 --m M --n N [--k K]            (table when --k omitted)
+  witness      a leaf placement achieving ξ_k^t
+                 --m M --n N --k K
+  feasibility  §4.3 feasibility report for a scenario
+                 --scenario video|atc|stock|uniform --sources Z
+                 [--load L --deadline-ms D --bits B] (uniform only)
+                 [--medium ethernet|gigabit|atm]
+  dimension    automated search for a provable configuration
+                 --scenario ... --sources Z [--medium ...]
+  simulate     run a peak-load workload through a protocol
+                 --scenario ... --sources Z --protocol ddcr|csma-cd|dcr|np-edf
+                 [--horizon-ms H] [--seed S] [--medium ...]
+  multibus     per-bus feasibility over parallel media
+                 --scenario ... --sources Z --buses B [--medium ...]
+  check        bounded exhaustive model check of the protocol
+                 [--scope small|medium]
+  help         this text
+"
+    .to_owned()
+}
+
+fn shape_from(args: &Args) -> Result<TreeShape, ArgError> {
+    let m: u64 = args.require_typed("m")?;
+    let n: u32 = args.require_typed("n")?;
+    TreeShape::new(m, n).map_err(|e| ArgError(e.to_string()))
+}
+
+fn cmd_xi(args: &Args) -> Result<String, ArgError> {
+    args.allow_only(&["m", "n", "k"])?;
+    let shape = shape_from(args)?;
+    let table = SearchTimeTable::compute(shape).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{shape}");
+    match args.get("k") {
+        Some(_) => {
+            let k: u64 = args.require_typed("k")?;
+            let xi = table.xi(k).map_err(|e| ArgError(e.to_string()))?;
+            let _ = writeln!(out, "xi_{k} = {xi}");
+            if (2..=2 * shape.leaves() / shape.branching()).contains(&k) {
+                let _ = writeln!(
+                    out,
+                    "xi~_{k} = {:.4} (asymptotic bound, Eq. 11)",
+                    asymptotic::xi_tilde(shape, k as f64)
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(out, "{:>5} {:>10}", "k", "xi_k");
+            for (k, xi) in table.iter() {
+                let _ = writeln!(out, "{k:>5} {xi:>10}");
+            }
+            let _ = writeln!(
+                out,
+                "peak at k = {} (value {}, Eq. 6); xi_t = {} (Eq. 7)",
+                closed_form::peak_k(shape),
+                closed_form::xi_peak(shape),
+                closed_form::xi_full(shape)
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_witness(args: &Args) -> Result<String, ArgError> {
+    args.allow_only(&["m", "n", "k"])?;
+    let shape = shape_from(args)?;
+    let k: u64 = args.require_typed("k")?;
+    let leaves =
+        witness::worst_case_witness(shape, k).map_err(|e| ArgError(e.to_string()))?;
+    let xi = closed_form::xi_closed(shape, k).map_err(|e| ArgError(e.to_string()))?;
+    Ok(format!(
+        "{shape}, k = {k}: xi = {xi} slots\nworst-case active leaves: {leaves:?}\n"
+    ))
+}
+
+fn medium_from(args: &Args) -> Result<MediumConfig, String> {
+    match args.get("medium").unwrap_or("ethernet") {
+        "ethernet" => Ok(MediumConfig::ethernet()),
+        "gigabit" => Ok(MediumConfig::gigabit_ethernet()),
+        "atm" => Ok(MediumConfig::atm_internal_bus()),
+        other => Err(format!("unknown medium `{other}` (ethernet|gigabit|atm)")),
+    }
+}
+
+fn set_from(args: &Args) -> Result<MessageSet, String> {
+    let z: u32 = args.require_typed("sources").map_err(|e| e.to_string())?;
+    match args.require("scenario").map_err(|e| e.to_string())? {
+        "video" => scenario::videoconference(z).map_err(|e| e.to_string()),
+        "atc" => scenario::air_traffic_control(z).map_err(|e| e.to_string()),
+        "stock" => scenario::stock_exchange(z).map_err(|e| e.to_string()),
+        "uniform" => {
+            let load: f64 = args.get_or("load", 0.3).map_err(|e| e.to_string())?;
+            let d_ms: u64 = args.get_or("deadline-ms", 5).map_err(|e| e.to_string())?;
+            let bits: u64 = args.get_or("bits", 8_000).map_err(|e| e.to_string())?;
+            scenario::uniform(z, bits, Ticks(d_ms * 1_000_000), load)
+                .map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown scenario `{other}` (video|atc|stock|uniform)"
+        )),
+    }
+}
+
+fn setup(
+    set: &MessageSet,
+    medium: &MediumConfig,
+) -> Result<(DdcrConfig, StaticAllocation), String> {
+    let c = network::recommended_class_width(set, 64, medium);
+    let config = DdcrConfig::for_sources(set.sources(), c).map_err(|e| e.to_string())?;
+    let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+        .map_err(|e| e.to_string())?;
+    Ok((config, allocation))
+}
+
+fn cmd_feasibility(args: &Args) -> Result<String, String> {
+    args.allow_only(&["scenario", "sources", "load", "deadline-ms", "bits", "medium"])
+        .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let (config, allocation) = setup(&set, &medium)?;
+    let report =
+        feasibility::evaluate(&set, &config, &allocation, &medium).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} sources, load {:.3}, c = {}, horizon = {}",
+        set.sources(),
+        set.offered_load(),
+        config.class_width,
+        config.horizon()
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>6} {:>6} {:>6} {:>4} {:>14} {:>12} {:>9}",
+        "class", "source", "r", "u", "v", "B_DDCR", "deadline", "feasible"
+    );
+    for c in &report.per_class {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>6} {:>6} {:>4} {:>14.0} {:>12} {:>9}",
+            c.class.to_string(),
+            c.source.to_string(),
+            c.r,
+            c.u,
+            c.v,
+            c.bound,
+            c.deadline.as_u64(),
+            c.feasible
+        );
+    }
+    let _ = writeln!(
+        out,
+        "instance: {}",
+        if report.feasible() { "FEASIBLE" } else { "INFEASIBLE" }
+    );
+    Ok(out)
+}
+
+fn cmd_dimension(args: &Args) -> Result<String, String> {
+    args.allow_only(&["scenario", "sources", "load", "deadline-ms", "bits", "medium"])
+        .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let candidates = dimensioning::dimension(&set, &medium, &Default::default())
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "top candidates (of {} evaluated):", candidates.len());
+    let _ = writeln!(
+        out,
+        "{:>20} {:>14} {:>10} {:>14} {:>16} {:>9}",
+        "time tree", "static tree", "c (ticks)", "strategy", "min slack", "feasible"
+    );
+    for cand in candidates.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "{:>20} {:>14} {:>10} {:>14} {:>16.3e} {:>9}",
+            cand.config.time_tree.to_string(),
+            cand.config.static_tree.to_string(),
+            cand.config.class_width.as_u64(),
+            format!("{:?}", cand.strategy),
+            cand.min_slack(),
+            cand.feasible()
+        );
+    }
+    match candidates.first() {
+        Some(best) if best.feasible() => {
+            let _ = writeln!(out, "recommended: the first row (provably feasible).");
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "no provable configuration in the default search space — reduce load \
+                 or relax deadlines."
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, String> {
+    args.allow_only(&[
+        "scenario",
+        "sources",
+        "load",
+        "deadline-ms",
+        "bits",
+        "medium",
+        "protocol",
+        "horizon-ms",
+        "seed",
+    ])
+    .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let horizon_ms: u64 = args.get_or("horizon-ms", 10).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(horizon_ms * 1_000_000))
+        .map_err(|e| e.to_string())?;
+    let n = schedule.len();
+    let budget = Ticks(1_000_000_000_000);
+    let stats = match args.require("protocol").map_err(|e| e.to_string())? {
+        "ddcr" => {
+            let (config, allocation) = setup(&set, &medium)?;
+            network::run(
+                &set,
+                schedule,
+                &config,
+                &allocation,
+                medium,
+                network::RunLimit::Completion(budget),
+            )
+            .map_err(|e| e.to_string())?
+        }
+        "csma-cd" => {
+            let mut engine = Engine::new(medium).map_err(|e| e.to_string())?;
+            for i in 0..set.sources() {
+                engine.add_station(Box::new(ddcr_baseline::CsmaCdStation::new(
+                    SourceId(i),
+                    medium,
+                    QueueDiscipline::Edf,
+                    seed,
+                )));
+            }
+            engine.add_arrivals(schedule).map_err(|e| e.to_string())?;
+            let _ = engine.run_to_completion(budget);
+            engine.into_stats()
+        }
+        "dcr" => {
+            let mut engine = Engine::new(medium).map_err(|e| e.to_string())?;
+            for i in 0..set.sources() {
+                engine.add_station(Box::new(
+                    ddcr_baseline::DcrStation::new(
+                        SourceId(i),
+                        set.sources(),
+                        medium,
+                        QueueDiscipline::Edf,
+                    )
+                    .map_err(|e| e.to_string())?,
+                ));
+            }
+            engine.add_arrivals(schedule).map_err(|e| e.to_string())?;
+            let _ = engine.run_to_completion(budget);
+            engine.into_stats()
+        }
+        "np-edf" => ddcr_baseline::NpEdfOracle::run_schedule(medium, schedule, budget)
+            .map_err(|e| e.to_string())?,
+        other => {
+            return Err(format!(
+                "unknown protocol `{other}` (ddcr|csma-cd|dcr|np-edf)"
+            ))
+        }
+    };
+    Ok(format!(
+        "scheduled {n}, delivered {}, misses {}, max latency {} ticks, \
+         mean latency {:.0} ticks, utilization {:.3}, collisions {}\n",
+        stats.deliveries.len(),
+        stats.deadline_misses() + (n - stats.deliveries.len()),
+        stats.max_latency().as_u64(),
+        stats.mean_latency(),
+        stats.utilization(),
+        stats.collisions
+    ))
+}
+
+fn cmd_multibus(args: &Args) -> Result<String, String> {
+    args.allow_only(&["scenario", "sources", "load", "deadline-ms", "bits", "medium", "buses"])
+        .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let buses: usize = args.get_or("buses", 2).map_err(|e| e.to_string())?;
+    let (config, allocation) = setup(&set, &medium)?;
+    let assignment = multibus::balance_by_load(&set, buses);
+    let reports = multibus::evaluate(&set, &assignment, &config, &allocation, &medium)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (bus, report) in reports.iter().enumerate() {
+        let projected = assignment.project(&set, bus).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "bus {bus}: {} classes, load {:.3}, {}",
+            projected.classes().len(),
+            projected.offered_load(),
+            if report.feasible() { "FEASIBLE" } else { "INFEASIBLE" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "instance over {buses} busses: {}",
+        if reports.iter().all(|r| r.feasible()) {
+            "FEASIBLE"
+        } else {
+            "INFEASIBLE"
+        }
+    );
+    Ok(out)
+}
+
+fn cmd_check(args: &Args) -> Result<String, String> {
+    args.allow_only(&["scope"]).map_err(|e| e.to_string())?;
+    let scope = match args.get("scope").unwrap_or("small") {
+        "small" => ddcr_check::Scope::small(),
+        "medium" => ddcr_check::Scope::medium(),
+        other => return Err(format!("unknown scope `{other}` (small|medium)")),
+    };
+    let report = ddcr_check::check_scope(&scope, 5_000);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exhaustively checked {} scenarios ({} qualified for the strict EDF-order check)",
+        report.scenarios, report.edf_checked
+    );
+    if report.clean() {
+        let _ = writeln!(
+            out,
+            "all properties hold: liveness, exactly-once, replica consistency, \
+             causality, EDF emulation"
+        );
+    } else {
+        for finding in report.findings.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "VIOLATION in scenario {}: {:?}",
+                finding.scenario_index, finding.violation
+            );
+        }
+        return Err(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        let args = Args::parse(line.iter().copied()).map_err(|e| e.to_string())?;
+        run(&args)
+    }
+
+    #[test]
+    fn help_on_empty_and_unknown() {
+        assert!(run_line(&[]).unwrap().contains("USAGE"));
+        assert!(run_line(&["help"]).unwrap().contains("COMMANDS"));
+        assert!(run_line(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn xi_table_and_single_value() {
+        let table = run_line(&["xi", "--m", "4", "--n", "3"]).unwrap();
+        assert!(table.contains("64-leaf"));
+        assert!(table.contains("peak at k = 32"));
+        let single = run_line(&["xi", "--m", "4", "--n", "3", "--k", "2"]).unwrap();
+        assert!(single.contains("xi_2 = 11"));
+        assert!(single.contains("xi~_2 = 11.0000"));
+    }
+
+    #[test]
+    fn witness_prints_achieving_subset() {
+        let out = run_line(&["witness", "--m", "2", "--n", "3", "--k", "3"]).unwrap();
+        assert!(out.contains("xi = "));
+        assert!(out.contains('['));
+    }
+
+    #[test]
+    fn feasibility_on_uniform() {
+        let out = run_line(&[
+            "feasibility",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "4",
+            "--load",
+            "0.1",
+            "--deadline-ms",
+            "10",
+        ])
+        .unwrap();
+        assert!(out.contains("FEASIBLE"));
+    }
+
+    #[test]
+    fn dimension_recommends_for_atc() {
+        let out = run_line(&[
+            "dimension",
+            "--scenario",
+            "atc",
+            "--sources",
+            "4",
+            "--medium",
+            "gigabit",
+        ])
+        .unwrap();
+        assert!(out.contains("recommended"), "{out}");
+    }
+
+    #[test]
+    fn simulate_all_protocols() {
+        for protocol in ["ddcr", "csma-cd", "dcr", "np-edf"] {
+            let out = run_line(&[
+                "simulate",
+                "--scenario",
+                "uniform",
+                "--sources",
+                "4",
+                "--load",
+                "0.2",
+                "--protocol",
+                protocol,
+                "--horizon-ms",
+                "4",
+            ])
+            .unwrap();
+            assert!(out.contains("delivered"), "{protocol}: {out}");
+        }
+    }
+
+    #[test]
+    fn multibus_reports_per_bus() {
+        let out = run_line(&[
+            "multibus",
+            "--scenario",
+            "video",
+            "--sources",
+            "8",
+            "--buses",
+            "2",
+            "--medium",
+            "gigabit",
+        ])
+        .unwrap();
+        assert!(out.contains("bus 0"));
+        assert!(out.contains("bus 1"));
+    }
+
+    #[test]
+    fn check_small_scope_is_clean() {
+        let out = run_line(&["check", "--scope", "small"]).unwrap();
+        assert!(out.contains("all properties hold"));
+        assert!(run_line(&["check", "--scope", "weird"]).is_err());
+    }
+
+    #[test]
+    fn typos_are_rejected() {
+        assert!(run_line(&["xi", "--m", "4", "--n", "3", "--q", "9"]).is_err());
+        assert!(run_line(&["simulate", "--scenario", "uniform", "--sources", "2", "--protocol", "nope"]).is_err());
+        assert!(run_line(&["feasibility", "--scenario", "weird", "--sources", "2"]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! `ddcr` — command-line front end for the CSMA/DDCR toolkit.
+//!
+//! ```text
+//! ddcr xi --m 4 --n 3                  # Fig. 1's table
+//! ddcr feasibility --scenario atc --sources 4 --medium gigabit
+//! ddcr simulate --scenario stock --sources 6 --protocol ddcr
+//! ```
+//!
+//! Run `ddcr help` for the full command list.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(raw) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

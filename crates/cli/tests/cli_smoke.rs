@@ -1,0 +1,67 @@
+//! End-to-end smoke tests of the compiled `ddcr` binary: exit codes,
+//! stdout/stderr routing, and argument diagnostics — what a packager's CI
+//! would run.
+
+use std::process::Command;
+
+fn ddcr(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ddcr"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let out = ddcr(&[]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(out.stderr.is_empty());
+}
+
+#[test]
+fn xi_value_on_stdout() {
+    let out = ddcr(&["xi", "--m", "4", "--n", "3", "--k", "2"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("xi_2 = 11"));
+}
+
+#[test]
+fn unknown_command_fails_with_diagnostic_on_stderr() {
+    let out = ddcr(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn bad_flag_fails_with_flag_name() {
+    let out = ddcr(&["xi", "--m", "4", "--n", "3", "--bogus", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+}
+
+#[test]
+fn missing_value_reports_the_flag() {
+    let out = ddcr(&["xi", "--m"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--m"));
+}
+
+#[test]
+fn feasibility_pipeline_works_end_to_end() {
+    let out = ddcr(&[
+        "feasibility",
+        "--scenario",
+        "uniform",
+        "--sources",
+        "2",
+        "--load",
+        "0.1",
+        "--deadline-ms",
+        "10",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("FEASIBLE"));
+}

@@ -1,0 +1,190 @@
+//! The local algorithm LA: a per-source EDF queue (§3.2).
+//!
+//! Messages wait in `Q_i` ordered by absolute deadline
+//! `DM(msg) = T(msg) + d(msg)`; the head is `msg*`. Ties break by arrival
+//! time and then message id, which keeps every replica of the protocol
+//! state machine deterministic.
+//!
+//! The queue is a sorted vector rather than a heap: protocol code needs
+//! cheap access to the first *and second* elements (packet bursting decides
+//! whether a follow-up frame exists before releasing the channel), queues
+//! are short in practice, and a totally ordered backing store makes the
+//! replica state trivially comparable in tests.
+
+use ddcr_sim::{Message, MessageId, Ticks};
+
+/// Ordering key: earliest deadline first, then FIFO, then id.
+type Key = (Ticks, Ticks, MessageId);
+
+fn key(m: &Message) -> Key {
+    (m.absolute_deadline(), m.arrival, m.id)
+}
+
+/// A per-source EDF waiting queue (`Q_i` under LA).
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_core::EdfQueue;
+/// use ddcr_sim::{ClassId, Message, MessageId, SourceId, Ticks};
+///
+/// let mut q = EdfQueue::new();
+/// let mk = |id, deadline| Message {
+///     id: MessageId(id), source: SourceId(0), class: ClassId(0),
+///     bits: 100, arrival: Ticks(0), deadline: Ticks(deadline),
+/// };
+/// q.push(mk(0, 900));
+/// q.push(mk(1, 100)); // tighter deadline jumps ahead
+/// assert_eq!(q.head().unwrap().id, MessageId(1));
+/// assert_eq!(q.second().unwrap().id, MessageId(0));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EdfQueue {
+    /// Sorted ascending by [`key`].
+    items: Vec<Message>,
+}
+
+impl EdfQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EdfQueue { items: Vec::new() }
+    }
+
+    /// Inserts a message; the EDF order is maintained automatically.
+    pub fn push(&mut self, message: Message) {
+        let k = key(&message);
+        let pos = self.items.partition_point(|m| key(m) <= k);
+        self.items.insert(pos, message);
+    }
+
+    /// The current `msg*` — the earliest-deadline message — or `None` when
+    /// the queue is empty.
+    pub fn head(&self) -> Option<&Message> {
+        self.items.first()
+    }
+
+    /// The message that would become `msg*` after the head transmits
+    /// (used by packet bursting to decide channel retention).
+    pub fn second(&self) -> Option<&Message> {
+        self.items.get(1)
+    }
+
+    /// Removes and returns `msg*`.
+    pub fn pop(&mut self) -> Option<Message> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items.remove(0))
+        }
+    }
+
+    /// Removes the head only if it is the given message (used when a
+    /// station observes its own successful transmission).
+    pub fn pop_if(&mut self, id: MessageId) -> Option<Message> {
+        if self.head().map(|m| m.id) == Some(id) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of waiting messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The queued messages in EDF order.
+    pub fn as_slice(&self) -> &[Message] {
+        &self.items
+    }
+
+    /// Drains the queue in EDF order (mainly for tests and teardown).
+    pub fn drain_sorted(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcr_sim::{ClassId, SourceId};
+
+    fn msg(id: u64, arrival: u64, deadline: u64) -> Message {
+        Message {
+            id: MessageId(id),
+            source: SourceId(0),
+            class: ClassId(0),
+            bits: 100,
+            arrival: Ticks(arrival),
+            deadline: Ticks(deadline),
+        }
+    }
+
+    #[test]
+    fn orders_by_absolute_deadline() {
+        let mut q = EdfQueue::new();
+        q.push(msg(0, 0, 500)); // DM 500
+        q.push(msg(1, 100, 200)); // DM 300
+        q.push(msg(2, 0, 400)); // DM 400
+        let order: Vec<u64> = q.drain_sorted().iter().map(|m| m.id.0).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_fifo_then_id() {
+        let mut q = EdfQueue::new();
+        q.push(msg(5, 10, 90)); // DM 100, arrived 10
+        q.push(msg(3, 0, 100)); // DM 100, arrived 0 — first
+        q.push(msg(4, 10, 90)); // DM 100, arrived 10, lower id than 5
+        let order: Vec<u64> = q.drain_sorted().iter().map(|m| m.id.0).collect();
+        assert_eq!(order, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn pop_if_only_matches_head() {
+        let mut q = EdfQueue::new();
+        q.push(msg(0, 0, 100));
+        q.push(msg(1, 0, 200));
+        assert!(q.pop_if(MessageId(1)).is_none());
+        assert_eq!(q.pop_if(MessageId(0)).unwrap().id, MessageId(0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn head_and_second_are_non_destructive() {
+        let mut q = EdfQueue::new();
+        q.push(msg(0, 0, 100));
+        q.push(msg(1, 0, 200));
+        assert_eq!(q.head().unwrap().id, MessageId(0));
+        assert_eq!(q.second().unwrap().id, MessageId(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EdfQueue::new();
+        assert!(q.head().is_none());
+        assert!(q.second().is_none());
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn as_slice_exposes_edf_order() {
+        let mut q = EdfQueue::new();
+        q.push(msg(2, 0, 300));
+        q.push(msg(1, 0, 100));
+        let dms: Vec<u64> = q
+            .as_slice()
+            .iter()
+            .map(|m| m.absolute_deadline().as_u64())
+            .collect();
+        assert_eq!(dms, vec![100, 300]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the CSMA/DDCR crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by configuration, allocation and feasibility APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DdcrError {
+    /// A protocol parameter is inconsistent.
+    InvalidConfig(String),
+    /// An underlying tree-analysis error.
+    Tree(ddcr_tree::TreeError),
+    /// A static index allocation is malformed (overlap, out of range, or a
+    /// source without indices).
+    InvalidAllocation(String),
+    /// The feasibility conditions cannot be evaluated for this instance.
+    Infeasible(String),
+}
+
+impl fmt::Display for DdcrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdcrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DdcrError::Tree(e) => write!(f, "tree analysis error: {e}"),
+            DdcrError::InvalidAllocation(msg) => write!(f, "invalid allocation: {msg}"),
+            DdcrError::Infeasible(msg) => write!(f, "feasibility evaluation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for DdcrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DdcrError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ddcr_tree::TreeError> for DdcrError {
+    fn from(e: ddcr_tree::TreeError) -> Self {
+        DdcrError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = DdcrError::from(ddcr_tree::TreeError::BranchingTooSmall { m: 1 });
+        assert!(e.to_string().contains("tree analysis"));
+        assert!(e.source().is_some());
+        let c = DdcrError::InvalidConfig("boom".into());
+        assert!(c.to_string().contains("boom"));
+        assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DdcrError>();
+    }
+}

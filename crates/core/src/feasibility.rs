@@ -1,0 +1,342 @@
+//! Feasibility conditions for HRTDM under CSMA/DDCR (§4.3).
+//!
+//! For every message class `M` of source `s_i` the paper derives, assuming
+//! peak-load conditions (every class arriving at its full density `a/w`):
+//!
+//! ```text
+//! r(M) = Σ_{m ∈ MSG_i} ⌈d(M)/w(m)⌉·a(m) − 1          (local rank bound)
+//! u(M) = Σ_{m ∈ MSG}  ⌈(d(M)+d(m)−l'(M)/ψ)/w(m)⌉·a(m) (global interference)
+//! v(M) = 1 + ⌊r(M)/ν_i⌋                               (static trees needed)
+//!
+//! B_DDCR(s_i, M) = Σ_{m ∈ MSG} ⌈…⌉·a(m)·l'(m)/ψ       (transmission time)
+//!                + x·( v·ξ̃^q_{u/v}                    (S1: static searches)
+//!                    + ⌈v/2⌉·ξ^F_2 )                   (S2: time tree slots)
+//! ```
+//!
+//! and the instance is feasible iff `B_DDCR(s_i, M) ≤ d(M)` for every class.
+//! The `S1` term applies the solution to problem P2 (Eq. 18–19); `S2` uses
+//! Eq. (5) with the worst-case assignment of two active leaves per time
+//! tree. Throughput is normalised to `ψ = 1 bit/tick`.
+
+use crate::config::DdcrConfig;
+use crate::error::DdcrError;
+use crate::indices::StaticAllocation;
+use ddcr_sim::{ClassId, MediumConfig, SourceId, Ticks};
+use ddcr_traffic::{MessageClass, MessageSet};
+use ddcr_tree::{asymptotic, closed_form};
+use serde::{Deserialize, Serialize};
+
+/// Feasibility verdict and worst-case latency bound for one message class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassFeasibility {
+    /// The class `M`.
+    pub class: ClassId,
+    /// Its source `s_i`.
+    pub source: SourceId,
+    /// Rank bound `r(M)`.
+    pub r: u64,
+    /// Interference bound `u(M)`.
+    pub u: u64,
+    /// Static tree searches needed, `v(M)`.
+    pub v: u64,
+    /// Total transmission time of the `u(M)` interfering messages, ticks.
+    pub transmission_ticks: u64,
+    /// Worst-case search slots for the static-tree term `S1` (problem P2).
+    pub s1_slots: f64,
+    /// Worst-case search slots for the time-tree term `S2` (Eq. 5 based).
+    pub s2_slots: f64,
+    /// Worst-case search slots `S = S1 + S2`.
+    pub search_slots: f64,
+    /// The latency bound `B_DDCR(s_i, M)` in ticks.
+    pub bound: f64,
+    /// The class deadline `d(M)`.
+    pub deadline: Ticks,
+    /// Whether `B ≤ d(M)`.
+    pub feasible: bool,
+}
+
+impl ClassFeasibility {
+    /// Slack `d(M) − B` in ticks (negative when infeasible).
+    pub fn slack(&self) -> f64 {
+        self.deadline.as_u64() as f64 - self.bound
+    }
+
+    /// Fraction of the bound due to raw transmission time (as opposed to
+    /// search overhead `x·S`) — the decomposition a designer tunes against:
+    /// transmission-dominated bounds call for more bandwidth or shorter
+    /// messages, search-dominated bounds for more static indices or a
+    /// different branching degree.
+    pub fn transmission_fraction(&self) -> f64 {
+        if self.bound == 0.0 {
+            0.0
+        } else {
+            self.transmission_ticks as f64 / self.bound
+        }
+    }
+}
+
+/// Feasibility report for a whole HRTDM instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibilityReport {
+    /// Per-class verdicts, in message-set order.
+    pub per_class: Vec<ClassFeasibility>,
+}
+
+impl FeasibilityReport {
+    /// The instance is feasible iff every class is.
+    pub fn feasible(&self) -> bool {
+        self.per_class.iter().all(|c| c.feasible)
+    }
+
+    /// The class with the smallest slack (the binding constraint), if any.
+    pub fn tightest(&self) -> Option<&ClassFeasibility> {
+        self.per_class
+            .iter()
+            .min_by(|a, b| a.slack().partial_cmp(&b.slack()).expect("no NaN slack"))
+    }
+}
+
+/// Exact `⌈num/den⌉` for possibly-negative numerators, clamped at zero
+/// (a non-positive window contributes no arrivals).
+fn ceil_div_clamped(num: i128, den: u64) -> u64 {
+    if num <= 0 {
+        0
+    } else {
+        let den = den as i128;
+        ((num + den - 1) / den) as u64
+    }
+}
+
+/// Evaluates the feasibility conditions of §4.3 for every class of the set.
+///
+/// # Errors
+///
+/// Returns [`DdcrError::InvalidConfig`] on configuration/allocation
+/// mismatch (e.g. fewer static leaves than sources) and
+/// [`DdcrError::Infeasible`] when a bound cannot be evaluated.
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_core::{feasibility, DdcrConfig, StaticAllocation};
+/// use ddcr_sim::{MediumConfig, Ticks};
+/// use ddcr_traffic::scenario;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = scenario::air_traffic_control(4)?;
+/// let config = DdcrConfig::for_sources(4, Ticks(12_500))?;
+/// let allocation = StaticAllocation::one_per_source(config.static_tree, 4)?;
+/// let report = feasibility::evaluate(
+///     &set, &config, &allocation, &MediumConfig::gigabit_ethernet())?;
+/// assert_eq!(report.per_class.len(), set.classes().len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(
+    set: &MessageSet,
+    config: &DdcrConfig,
+    allocation: &StaticAllocation,
+    medium: &MediumConfig,
+) -> Result<FeasibilityReport, DdcrError> {
+    config.validate(set.sources())?;
+    if allocation.sources() < set.sources() {
+        return Err(DdcrError::InvalidConfig(format!(
+            "allocation covers {} sources, message set has {}",
+            allocation.sources(),
+            set.sources()
+        )));
+    }
+    let mut per_class = Vec::with_capacity(set.classes().len());
+    for target in set.classes() {
+        per_class.push(evaluate_class(set, config, allocation, medium, target)?);
+    }
+    Ok(FeasibilityReport { per_class })
+}
+
+fn evaluate_class(
+    set: &MessageSet,
+    config: &DdcrConfig,
+    allocation: &StaticAllocation,
+    medium: &MediumConfig,
+    target: &MessageClass,
+) -> Result<ClassFeasibility, DdcrError> {
+    let d_m = target.deadline.as_u64() as i128;
+    let lp_m = medium.wire_bits(target.bits) as i128; // l'(M)/ψ at ψ = 1
+
+    // r(M): messages of MSG_i that can be serviced before M.
+    let mut r: u64 = 0;
+    for m in set.classes_of(target.source) {
+        r += ceil_div_clamped(d_m, m.density.w.as_u64()) * m.density.a;
+    }
+    let r = r.saturating_sub(1);
+
+    // u(M) and the transmission-time term share the same per-class counts.
+    let mut u: u64 = 0;
+    let mut transmission_ticks: u64 = 0;
+    for m in set.classes() {
+        let window = d_m + m.deadline.as_u64() as i128 - lp_m;
+        let count = ceil_div_clamped(window, m.density.w.as_u64()) * m.density.a;
+        u += count;
+        transmission_ticks += count * medium.wire_bits(m.bits);
+    }
+
+    let nu = allocation.nu(target.source);
+    let mut v = 1 + r / nu;
+    let q = config.static_tree.leaves();
+    // The P2 bound needs u/v ≤ q; if the interference exceeds what v static
+    // trees can carry, more searches will actually run — raising v keeps
+    // the bound on the safe (conservative) side.
+    if u > q * v {
+        v = u.div_ceil(q);
+    }
+
+    // S1: isolating u messages over v consecutive q-leaf static trees
+    // (problem P2, Eq. 18–19). ξ̃ needs k ∈ [2, q]; fewer than 2 per tree
+    // is dominated by the k = 2 cost.
+    let s1 = if u == 0 {
+        0.0
+    } else {
+        let k = (u as f64 / v as f64).clamp(2.0, q as f64);
+        v as f64 * asymptotic::xi_tilde(config.static_tree, k)
+    };
+
+    // S2: isolating v time-tree leaves over ⌈v/2⌉ consecutive time trees,
+    // two active leaves per tree being the worst case (ξ^F_2, Eq. 5).
+    let s2 = v.div_ceil(2) as f64 * closed_form::xi_two(config.time_tree) as f64;
+
+    let search_slots = s1 + s2;
+    let bound = transmission_ticks as f64 + medium.slot_ticks as f64 * search_slots;
+    Ok(ClassFeasibility {
+        class: target.id,
+        source: target.source,
+        r,
+        u,
+        v,
+        transmission_ticks,
+        s1_slots: s1,
+        s2_slots: s2,
+        search_slots,
+        bound,
+        deadline: target.deadline,
+        feasible: bound <= target.deadline.as_u64() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcr_traffic::{scenario, DensityBound};
+
+    fn setup(z: u32, load: f64, deadline: u64) -> (MessageSet, DdcrConfig, StaticAllocation) {
+        let set = scenario::uniform(z, 8_000, Ticks(deadline), load).unwrap();
+        let config = DdcrConfig::for_sources(z, Ticks(deadline / 64)).unwrap();
+        let allocation = StaticAllocation::one_per_source(config.static_tree, z).unwrap();
+        (set, config, allocation)
+    }
+
+    #[test]
+    fn light_load_long_deadline_is_feasible() {
+        let (set, config, allocation) = setup(4, 0.05, 10_000_000);
+        let report =
+            evaluate(&set, &config, &allocation, &MediumConfig::ethernet()).unwrap();
+        assert!(report.feasible(), "{:#?}", report.tightest());
+    }
+
+    #[test]
+    fn saturating_load_tight_deadline_is_infeasible() {
+        let (set, config, allocation) = setup(8, 0.95, 200_000);
+        let report =
+            evaluate(&set, &config, &allocation, &MediumConfig::ethernet()).unwrap();
+        assert!(!report.feasible());
+        assert!(report.tightest().unwrap().slack() < 0.0);
+    }
+
+    #[test]
+    fn bound_grows_with_load() {
+        let medium = MediumConfig::ethernet();
+        let mut prev = 0.0;
+        for load in [0.1, 0.3, 0.5, 0.7] {
+            let (set, config, allocation) = setup(4, load, 5_000_000);
+            let report = evaluate(&set, &config, &allocation, &medium).unwrap();
+            let bound = report.per_class[0].bound;
+            assert!(bound > prev, "bound not monotone at load {load}");
+            prev = bound;
+        }
+    }
+
+    #[test]
+    fn r_and_u_match_hand_computation() {
+        // One source, one class: a = 2, w = 1000, d = 3000, l = 100,
+        // overhead 0, slot 10.
+        let set = MessageSet::new(
+            1,
+            vec![ddcr_traffic::MessageClass {
+                id: ClassId(0),
+                name: "only".into(),
+                source: SourceId(0),
+                bits: 100,
+                deadline: Ticks(3000),
+                density: DensityBound::new(2, Ticks(1000)).unwrap(),
+            }],
+        )
+        .unwrap();
+        let config = DdcrConfig::for_sources(1, Ticks(100)).unwrap();
+        let allocation = StaticAllocation::one_per_source(config.static_tree, 1).unwrap();
+        let medium = MediumConfig {
+            slot_ticks: 10,
+            overhead_bits: 0,
+            collision_mode: ddcr_sim::CollisionMode::Destructive,
+        };
+        let report = evaluate(&set, &config, &allocation, &medium).unwrap();
+        let c = &report.per_class[0];
+        // r = ⌈3000/1000⌉·2 − 1 = 5
+        assert_eq!(c.r, 5);
+        // u = ⌈(3000 + 3000 − 100)/1000⌉·2 = 12
+        assert_eq!(c.u, 12);
+        // ν = 1 ⇒ v = 1 + ⌊5/1⌋ = 6
+        assert_eq!(c.v, 6);
+        assert_eq!(c.transmission_ticks, 1200);
+    }
+
+    #[test]
+    fn more_static_indices_reduce_v_and_bound() {
+        let set = scenario::uniform(4, 8_000, Ticks(2_000_000), 0.5).unwrap();
+        let config = DdcrConfig::for_sources(4, Ticks(31_250)).unwrap();
+        let medium = MediumConfig::ethernet();
+        let one = StaticAllocation::one_per_source(config.static_tree, 4).unwrap();
+        let rr = StaticAllocation::round_robin(config.static_tree, 4).unwrap();
+        let report_one = evaluate(&set, &config, &one, &medium).unwrap();
+        let report_rr = evaluate(&set, &config, &rr, &medium).unwrap();
+        assert!(report_rr.per_class[0].v <= report_one.per_class[0].v);
+        assert!(report_rr.per_class[0].bound <= report_one.per_class[0].bound);
+    }
+
+    #[test]
+    fn tightest_picks_minimum_slack() {
+        let set = scenario::air_traffic_control(4).unwrap();
+        let config = DdcrConfig::for_sources(4, Ticks(6_250)).unwrap();
+        let allocation = StaticAllocation::one_per_source(config.static_tree, 4).unwrap();
+        let report =
+            evaluate(&set, &config, &allocation, &MediumConfig::gigabit_ethernet()).unwrap();
+        let tightest = report.tightest().unwrap();
+        for c in &report.per_class {
+            assert!(tightest.slack() <= c.slack());
+        }
+    }
+
+    #[test]
+    fn mismatched_allocation_rejected() {
+        let (set, config, _) = setup(4, 0.1, 1_000_000);
+        let small = StaticAllocation::one_per_source(config.static_tree, 2).unwrap();
+        assert!(evaluate(&set, &config, &small, &MediumConfig::ethernet()).is_err());
+    }
+
+    #[test]
+    fn ceil_div_clamped_handles_negatives() {
+        assert_eq!(ceil_div_clamped(-5, 10), 0);
+        assert_eq!(ceil_div_clamped(0, 10), 0);
+        assert_eq!(ceil_div_clamped(1, 10), 1);
+        assert_eq!(ceil_div_clamped(10, 10), 1);
+        assert_eq!(ceil_div_clamped(11, 10), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! # ddcr-core — CSMA/DDCR: deadline-driven collision resolution
+//!
+//! The primary contribution of *"A Protocol and Correctness Proofs for
+//! Real-Time High-Performance Broadcast Networks"* (Hermant & Le Lann,
+//! ICDCS 1998): a deterministic Ethernet-like MAC protocol that emulates
+//! distributed non-preemptive EDF over a broadcast medium, together with
+//! the computable feasibility conditions that make it a *provable* solution
+//! to the Hard Real-Time Distributed Multiaccess (HRTDM) problem.
+//!
+//! ## Components
+//!
+//! * [`EdfQueue`] — the local algorithm LA: per-source EDF queue whose head
+//!   is `msg*`;
+//! * [`mts`] — the deterministic m-ary tree search automaton `m-ts`, driven
+//!   by replicated channel feedback;
+//! * [`DdcrStation`] — the full protocol state machine: time tree searches
+//!   (TTs) over deadline equivalence classes, static tree searches (STs)
+//!   for same-class tie-breaking, compressed time, CSMA-CD attempt slots,
+//!   and optional Gigabit-Ethernet packet bursting (§5);
+//! * [`StaticAllocation`] — the partition of static tree leaves over
+//!   sources (`ν_i` indices each);
+//! * [`feasibility`] — the §4.3 feasibility conditions
+//!   (`r(M)`, `u(M)`, `v(M)`, `B_DDCR`), built on the P1/P2 analysis of
+//!   [`ddcr_tree`];
+//! * [`dimensioning`] — automated search of the protocol parameter space
+//!   for a provably feasible configuration (the "essential tool" of §2.2);
+//! * [`multibus`] — parallel broadcast media with class→bus partitioning
+//!   ("many such media can be used in parallel", §3.1);
+//! * [`network`] — one-call assembly of a simulated DDCR network over
+//!   [`ddcr_sim`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ddcr_core::{feasibility, DdcrConfig, StaticAllocation};
+//! use ddcr_sim::{MediumConfig, Ticks};
+//! use ddcr_traffic::scenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let set = scenario::uniform(8, 8_000, Ticks(5_000_000), 0.3)?;
+//! let medium = MediumConfig::ethernet();
+//! let c = ddcr_core::network::recommended_class_width(&set, 64, &medium);
+//! let config = DdcrConfig::for_sources(8, c)?;
+//! let allocation = StaticAllocation::round_robin(config.static_tree, 8)?;
+//! let report = feasibility::evaluate(&set, &config, &allocation, &medium)?;
+//! println!("feasible: {}", report.feasible());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod dimensioning;
+mod edf;
+mod error;
+pub mod feasibility;
+mod indices;
+pub mod inversions;
+pub mod mts;
+pub mod multibus;
+pub mod network;
+mod protocol;
+
+pub use config::{BurstConfig, DdcrConfig};
+pub use edf::EdfQueue;
+pub use error::DdcrError;
+pub use indices::StaticAllocation;
+pub use protocol::{DdcrStation, ProtocolCounters};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DdcrConfig>();
+        assert_send_sync::<DdcrStation>();
+        assert_send_sync::<StaticAllocation>();
+        assert_send_sync::<DdcrError>();
+    }
+}

@@ -1,0 +1,281 @@
+//! Parallel broadcast media — "a broadcast medium (many such media can be
+//! used in parallel)" (§3.1).
+//!
+//! A station may have interfaces on several independent busses, with each
+//! message class pinned to one bus. Because the busses are physically
+//! independent, the HRTDM analysis composes: the instance is feasible iff
+//! **every bus's projected message set** satisfies the §4.3 feasibility
+//! conditions on that bus. This module provides the class→bus partition,
+//! a greedy feasibility-driven partitioner, per-bus evaluation, and a
+//! multi-bus simulation runner (one [`ddcr_sim::Engine`] per bus).
+
+use crate::config::DdcrConfig;
+use crate::error::DdcrError;
+use crate::feasibility::{self, FeasibilityReport};
+use crate::indices::StaticAllocation;
+use crate::network::{self, RunLimit};
+use ddcr_sim::{ChannelStats, ClassId, MediumConfig, Message, Ticks};
+use ddcr_traffic::{MessageClass, MessageSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A partition of message classes over parallel busses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusAssignment {
+    buses: usize,
+    bus_of_class: BTreeMap<ClassId, usize>,
+}
+
+impl BusAssignment {
+    /// Builds an assignment, validating every class of the set is mapped
+    /// to a bus within range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdcrError::InvalidConfig`] on unmapped classes or
+    /// out-of-range bus indices.
+    pub fn new(
+        set: &MessageSet,
+        buses: usize,
+        bus_of_class: BTreeMap<ClassId, usize>,
+    ) -> Result<Self, DdcrError> {
+        if buses == 0 {
+            return Err(DdcrError::InvalidConfig("at least one bus required".into()));
+        }
+        for class in set.classes() {
+            match bus_of_class.get(&class.id) {
+                None => {
+                    return Err(DdcrError::InvalidConfig(format!(
+                        "class {} not assigned to any bus",
+                        class.id
+                    )))
+                }
+                Some(&b) if b >= buses => {
+                    return Err(DdcrError::InvalidConfig(format!(
+                        "class {} assigned to bus {b} of {buses}",
+                        class.id
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(BusAssignment {
+            buses,
+            bus_of_class,
+        })
+    }
+
+    /// Number of busses.
+    pub fn buses(&self) -> usize {
+        self.buses
+    }
+
+    /// The bus a class rides on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class was not part of the set the assignment was
+    /// validated against.
+    pub fn bus_of(&self, class: ClassId) -> usize {
+        self.bus_of_class[&class]
+    }
+
+    /// Projects the message set onto one bus (same sources, the subset of
+    /// classes riding that bus).
+    ///
+    /// # Errors
+    ///
+    /// Propagates set-construction failures (cannot happen for projections
+    /// of a valid set).
+    pub fn project(&self, set: &MessageSet, bus: usize) -> Result<MessageSet, DdcrError> {
+        let classes: Vec<MessageClass> = set
+            .classes()
+            .iter()
+            .filter(|c| self.bus_of(c.id) == bus)
+            .cloned()
+            .collect();
+        MessageSet::new(set.sources(), classes)
+            .map_err(|e| DdcrError::InvalidConfig(e.to_string()))
+    }
+}
+
+/// Greedy feasibility-driven partitioner: classes are placed heaviest
+/// first (by offered load), each onto the bus whose projected load is
+/// currently smallest — classic LPT balancing, which is what a capacity
+/// planner would start from.
+pub fn balance_by_load(set: &MessageSet, buses: usize) -> BusAssignment {
+    let mut order: Vec<&MessageClass> = set.classes().iter().collect();
+    order.sort_by(|a, b| {
+        b.offered_load()
+            .partial_cmp(&a.offered_load())
+            .expect("finite loads")
+            .then(a.id.0.cmp(&b.id.0))
+    });
+    let mut load = vec![0.0f64; buses.max(1)];
+    let mut bus_of_class = BTreeMap::new();
+    for class in order {
+        let (bus, _) = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("at least one bus");
+        bus_of_class.insert(class.id, bus);
+        load[bus] += class.offered_load();
+    }
+    BusAssignment {
+        buses: buses.max(1),
+        bus_of_class,
+    }
+}
+
+/// Per-bus feasibility: the multi-bus instance is provable iff every
+/// projected set is.
+///
+/// # Errors
+///
+/// Propagates evaluation failures from any bus.
+pub fn evaluate(
+    set: &MessageSet,
+    assignment: &BusAssignment,
+    config: &DdcrConfig,
+    allocation: &StaticAllocation,
+    medium: &MediumConfig,
+) -> Result<Vec<FeasibilityReport>, DdcrError> {
+    let mut reports = Vec::with_capacity(assignment.buses());
+    for bus in 0..assignment.buses() {
+        let projected = assignment.project(set, bus)?;
+        reports.push(feasibility::evaluate(
+            &projected,
+            config,
+            allocation,
+            medium,
+        )?);
+    }
+    Ok(reports)
+}
+
+/// Runs a schedule over parallel busses: each message is routed to its
+/// class's bus and each bus is simulated independently (they share no
+/// physical state). Returns per-bus statistics.
+///
+/// # Errors
+///
+/// Propagates assembly and completion failures from any bus.
+pub fn run(
+    set: &MessageSet,
+    schedule: Vec<Message>,
+    assignment: &BusAssignment,
+    config: &DdcrConfig,
+    allocation: &StaticAllocation,
+    medium: MediumConfig,
+    budget: Ticks,
+) -> Result<Vec<ChannelStats>, DdcrError> {
+    let mut per_bus: Vec<Vec<Message>> = vec![Vec::new(); assignment.buses()];
+    for msg in schedule {
+        per_bus[assignment.bus_of(msg.class)].push(msg);
+    }
+    let mut stats = Vec::with_capacity(assignment.buses());
+    for (bus, messages) in per_bus.into_iter().enumerate() {
+        let projected = assignment.project(set, bus)?;
+        stats.push(network::run(
+            &projected,
+            messages,
+            config,
+            allocation,
+            medium,
+            RunLimit::Completion(budget),
+        )?);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcr_traffic::{scenario, ScheduleBuilder};
+
+    fn setup(z: u32) -> (MessageSet, DdcrConfig, StaticAllocation, MediumConfig) {
+        let set = scenario::videoconference(z).unwrap();
+        let medium = MediumConfig::gigabit_ethernet();
+        let c = network::recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(z, c).unwrap();
+        let allocation = StaticAllocation::round_robin(config.static_tree, z).unwrap();
+        (set, config, allocation, medium)
+    }
+
+    #[test]
+    fn balance_assigns_every_class() {
+        let (set, ..) = setup(6);
+        let assignment = balance_by_load(&set, 3);
+        assert_eq!(assignment.buses(), 3);
+        for class in set.classes() {
+            assert!(assignment.bus_of(class.id) < 3);
+        }
+        // Load roughly balanced: no bus more than twice the lightest.
+        let loads: Vec<f64> = (0..3)
+            .map(|b| assignment.project(&set, b).unwrap().offered_load())
+            .collect();
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max <= 2.0 * min + 1e-9, "{loads:?}");
+    }
+
+    #[test]
+    fn projections_partition_the_set() {
+        let (set, ..) = setup(4);
+        let assignment = balance_by_load(&set, 2);
+        let total: usize = (0..2)
+            .map(|b| assignment.project(&set, b).unwrap().classes().len())
+            .sum();
+        assert_eq!(total, set.classes().len());
+    }
+
+    #[test]
+    fn more_buses_increase_provable_capacity() {
+        // A participant count infeasible on one bus becomes provable on
+        // two: the §3.1 "media in parallel" payoff.
+        let (set, config, allocation, medium) = setup(20);
+        let one_bus = balance_by_load(&set, 1);
+        let two_bus = balance_by_load(&set, 2);
+        let single = evaluate(&set, &one_bus, &config, &allocation, &medium).unwrap();
+        let double = evaluate(&set, &two_bus, &config, &allocation, &medium).unwrap();
+        assert!(!single.iter().all(FeasibilityReport::feasible));
+        assert!(double.iter().all(FeasibilityReport::feasible));
+    }
+
+    #[test]
+    fn multibus_run_drains_and_meets_deadlines() {
+        let (set, config, allocation, medium) = setup(8);
+        let assignment = balance_by_load(&set, 2);
+        let schedule = ScheduleBuilder::peak_load(&set)
+            .build(Ticks(8_000_000))
+            .unwrap();
+        let n = schedule.len();
+        let stats = run(
+            &set,
+            schedule,
+            &assignment,
+            &config,
+            &allocation,
+            medium,
+            Ticks(100_000_000_000),
+        )
+        .unwrap();
+        let delivered: usize = stats.iter().map(|s| s.deliveries.len()).sum();
+        let misses: usize = stats.iter().map(ChannelStats::deadline_misses).sum();
+        assert_eq!(delivered, n);
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_assignments() {
+        let (set, ..) = setup(2);
+        assert!(BusAssignment::new(&set, 0, BTreeMap::new()).is_err());
+        assert!(BusAssignment::new(&set, 2, BTreeMap::new()).is_err());
+        let mut map = BTreeMap::new();
+        for class in set.classes() {
+            map.insert(class.id, 5usize);
+        }
+        assert!(BusAssignment::new(&set, 2, map).is_err());
+    }
+}

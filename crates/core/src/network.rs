@@ -1,0 +1,195 @@
+//! High-level assembly: build a simulated CSMA/DDCR network from a message
+//! set and run workloads against it.
+
+use crate::config::DdcrConfig;
+use crate::error::DdcrError;
+use crate::indices::StaticAllocation;
+use crate::protocol::DdcrStation;
+use ddcr_sim::{ChannelStats, Engine, MediumConfig, Message, SourceId, Ticks};
+use ddcr_traffic::MessageSet;
+
+/// How long to run a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Run until every scheduled message has been delivered, giving up at
+    /// the budget.
+    Completion(Ticks),
+    /// Run for a fixed horizon regardless of backlog.
+    Horizon(Ticks),
+}
+
+/// Picks a deadline-class width `c` for a message set: the smallest value
+/// such that the scheduling horizon `c·F` covers the largest relative
+/// deadline (so no freshly arrived message ever sits a time tree search
+/// out), but never below one slot time.
+pub fn recommended_class_width(
+    set: &MessageSet,
+    time_leaves: u64,
+    medium: &MediumConfig,
+) -> Ticks {
+    let max_d = set
+        .classes()
+        .iter()
+        .map(|c| c.deadline.as_u64())
+        .max()
+        .unwrap_or(medium.slot_ticks);
+    Ticks(max_d.div_ceil(time_leaves).max(medium.slot_ticks))
+}
+
+/// Builds an engine with one [`DdcrStation`] per source of the set.
+///
+/// # Errors
+///
+/// Returns [`DdcrError`] on configuration/allocation mismatch and wraps
+/// simulator construction failures.
+pub fn build_engine(
+    set: &MessageSet,
+    config: &DdcrConfig,
+    allocation: &StaticAllocation,
+    medium: MediumConfig,
+) -> Result<Engine, DdcrError> {
+    config.validate(set.sources())?;
+    let mut engine = Engine::new(medium)
+        .map_err(|e| DdcrError::InvalidConfig(format!("simulator rejected medium: {e}")))?;
+    for i in 0..set.sources() {
+        engine.add_station(Box::new(DdcrStation::new(
+            SourceId(i),
+            *config,
+            allocation.clone(),
+            medium.overhead_bits,
+        )?));
+    }
+    Ok(engine)
+}
+
+/// Runs a schedule through a freshly built CSMA/DDCR network and returns
+/// the channel statistics.
+///
+/// # Errors
+///
+/// Returns [`DdcrError`] on assembly failure, on unknown sources in the
+/// schedule, or when a completion run exhausts its budget with messages
+/// still queued.
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_core::{network, DdcrConfig, StaticAllocation};
+/// use ddcr_sim::{MediumConfig, Ticks};
+/// use ddcr_traffic::{scenario, ScheduleBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let set = scenario::uniform(4, 8_000, Ticks(2_000_000), 0.2)?;
+/// let medium = MediumConfig::ethernet();
+/// let c = network::recommended_class_width(&set, 64, &medium);
+/// let config = DdcrConfig::for_sources(4, c)?;
+/// let allocation = StaticAllocation::one_per_source(config.static_tree, 4)?;
+/// let schedule = ScheduleBuilder::peak_load(&set).build(Ticks(4_000_000))?;
+/// let stats = network::run(
+///     &set, schedule, &config, &allocation, medium,
+///     network::RunLimit::Completion(Ticks(100_000_000)),
+/// )?;
+/// assert_eq!(stats.deadline_misses(), 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(
+    set: &MessageSet,
+    schedule: Vec<Message>,
+    config: &DdcrConfig,
+    allocation: &StaticAllocation,
+    medium: MediumConfig,
+    limit: RunLimit,
+) -> Result<ChannelStats, DdcrError> {
+    let mut engine = build_engine(set, config, allocation, medium)?;
+    engine
+        .add_arrivals(schedule)
+        .map_err(|e| DdcrError::InvalidConfig(format!("schedule rejected: {e}")))?;
+    match limit {
+        RunLimit::Completion(max) => engine
+            .run_to_completion(max)
+            .map_err(|e| DdcrError::Infeasible(format!("run did not complete: {e}")))?,
+        RunLimit::Horizon(t) => engine.run_until(t),
+    }
+    Ok(engine.into_stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcr_traffic::{scenario, ScheduleBuilder};
+
+    #[test]
+    fn recommended_width_covers_max_deadline() {
+        let set = scenario::videoconference(4).unwrap();
+        let medium = MediumConfig::ethernet();
+        let c = recommended_class_width(&set, 64, &medium);
+        let max_d = set
+            .classes()
+            .iter()
+            .map(|cl| cl.deadline.as_u64())
+            .max()
+            .unwrap();
+        assert!(c.as_u64() * 64 >= max_d);
+        assert!(c.as_u64() >= medium.slot_ticks);
+    }
+
+    #[test]
+    fn peak_load_videoconference_completes() {
+        let set = scenario::videoconference(4).unwrap();
+        let medium = MediumConfig::ethernet();
+        let c = recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(4, c).unwrap();
+        let allocation = StaticAllocation::round_robin(config.static_tree, 4).unwrap();
+        let schedule = ScheduleBuilder::peak_load(&set)
+            .build(Ticks(2_000_000))
+            .unwrap();
+        let n = schedule.len();
+        let stats = run(
+            &set,
+            schedule,
+            &config,
+            &allocation,
+            medium,
+            RunLimit::Completion(Ticks(1_000_000_000)),
+        )
+        .unwrap();
+        assert_eq!(stats.deliveries.len(), n);
+    }
+
+    #[test]
+    fn horizon_run_stops_at_horizon() {
+        let set = scenario::uniform(2, 8_000, Ticks(1_000_000), 0.1).unwrap();
+        let config = DdcrConfig::for_sources(2, Ticks(31_250)).unwrap();
+        let allocation = StaticAllocation::one_per_source(config.static_tree, 2).unwrap();
+        let schedule = ScheduleBuilder::periodic(&set).build(Ticks(10_000_000)).unwrap();
+        let stats = run(
+            &set,
+            schedule,
+            &config,
+            &allocation,
+            MediumConfig::ethernet(),
+            RunLimit::Horizon(Ticks(1_000_000)),
+        )
+        .unwrap();
+        assert!(stats.total_ticks >= Ticks(1_000_000));
+    }
+
+    #[test]
+    fn undersized_budget_reports_infeasible() {
+        let set = scenario::uniform(2, 8_000, Ticks(1_000_000), 0.5).unwrap();
+        let config = DdcrConfig::for_sources(2, Ticks(31_250)).unwrap();
+        let allocation = StaticAllocation::one_per_source(config.static_tree, 2).unwrap();
+        let schedule = ScheduleBuilder::peak_load(&set).build(Ticks(10_000_000)).unwrap();
+        let err = run(
+            &set,
+            schedule,
+            &config,
+            &allocation,
+            MediumConfig::ethernet(),
+            RunLimit::Completion(Ticks(100_000)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DdcrError::Infeasible(_)));
+    }
+}

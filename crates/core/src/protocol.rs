@@ -1,0 +1,854 @@
+//! The CSMA/DDCR station state machine (§3.2).
+//!
+//! Every station runs a **replica** of the same deterministic automaton,
+//! advanced only by the shared channel feedback; the only private inputs
+//! are the station's own queue contents and its static index allocation.
+//! The automaton cycles through:
+//!
+//! 1. **TTs** — a time tree search over `F` deadline equivalence classes of
+//!    width `c`. A station participates with `msg*` (the EDF head) at leaf
+//!    `f(reft, msg*) = max{⌊(DM − (α + reft))/c⌋, f* + 1}`, or sits out if
+//!    the index exceeds `F − 1`. A collision on a time-tree *leaf* (two
+//!    messages in the same deadline class) suspends TTs and runs STs.
+//! 2. **STs** — a static tree search over `q` statically allocated source
+//!    indices; a source participates with messages in the collided (or an
+//!    earlier) deadline class and may transmit up to `ν_i` messages, one
+//!    per owned index, in ranking order.
+//! 3. **Attempt** — one CSMA-CD attempt slot after a TTs that transmitted
+//!    (`out = true`), and — when compressed time is off — also after an
+//!    empty TTs ("if a message is waiting in Q at the end of some execution
+//!    of TTs, its transmission is attempted, à la CSMA-CD"); a collision
+//!    re-synchronises `reft` to physical time and a new TTs begins. With
+//!    compressed time on, an empty TTs loops straight into the next TTs
+//!    per the pseudocode (see docs/PROTOCOL.md, decision D1).
+//!
+//! `reft` follows the paper's rules: set to physical time at protocol
+//! start, at every successful transmission during a time tree search, at
+//! static tree search completion, and after an attempt-slot collision;
+//! incremented by `θ(c)` when a time tree search ends without any
+//! transmission (compressed-time mode).
+
+use crate::config::DdcrConfig;
+use crate::edf::EdfQueue;
+use crate::indices::StaticAllocation;
+use crate::mts::{Interval, MtsEvent, MtsSearch, SlotOutcome};
+use ddcr_sim::{
+    Action, Frame, Message, MessageId, Observation, SourceId, Station, Ticks,
+};
+use serde::{Deserialize, Serialize};
+
+/// Per-station protocol event counters, for experiments and ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolCounters {
+    /// Time tree searches started.
+    pub tts_runs: u64,
+    /// Time tree searches that ended without any transmission
+    /// (`out = false`).
+    pub tts_empty_runs: u64,
+    /// Static tree searches run.
+    pub sts_runs: u64,
+    /// Attempt slots in which this station transmitted.
+    pub attempts: u64,
+    /// Attempt slots that ended in a collision.
+    pub attempt_collisions: u64,
+    /// Probe slots observed as collisions (search overhead).
+    pub probe_collisions: u64,
+    /// Probe slots observed as empty (search overhead).
+    pub probe_empties: u64,
+    /// Burst continuation frames this station transmitted.
+    pub burst_continuations: u64,
+    /// Messages this station transmitted successfully.
+    pub transmitted: u64,
+    /// Collisions that cannot occur in a conforming network (static-leaf
+    /// collisions): evidence of interference or a babbling station.
+    pub interference_collisions: u64,
+}
+
+/// State of one time tree search in progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TtsState {
+    search: MtsSearch,
+    transmitted_any: bool,
+}
+
+/// Protocol phase; shared-deterministic across replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    /// Running a time tree search.
+    Tts(TtsState),
+    /// Running a static tree search nested inside a suspended TTs.
+    Sts {
+        search: MtsSearch,
+        collided_leaf: u64,
+        saved: TtsState,
+    },
+    /// The single CSMA-CD attempt slot following a time tree search.
+    Attempt,
+}
+
+/// What this slot means for this station (computed from the phase without
+/// holding a borrow on it).
+enum SlotPlan {
+    Tts {
+        frontier: u64,
+        interval: Option<Interval>,
+    },
+    Sts {
+        interval: Option<Interval>,
+        collided_leaf: u64,
+    },
+    Attempt,
+}
+
+/// A CSMA/DDCR station: local EDF queue plus the replicated
+/// deadline-driven collision-resolution automaton.
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_core::{DdcrConfig, DdcrStation, StaticAllocation};
+/// use ddcr_sim::{MediumConfig, SourceId, Ticks};
+///
+/// # fn main() -> Result<(), ddcr_core::DdcrError> {
+/// let config = DdcrConfig::for_sources(4, Ticks(100_000))?;
+/// let allocation = StaticAllocation::one_per_source(config.static_tree, 4)?;
+/// let station = DdcrStation::new(
+///     SourceId(0),
+///     config,
+///     allocation,
+///     MediumConfig::ethernet().overhead_bits,
+/// )?;
+/// assert_eq!(station.counters().transmitted, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdcrStation {
+    source: SourceId,
+    config: DdcrConfig,
+    allocation: StaticAllocation,
+    overhead_bits: u64,
+    queue: EdfQueue,
+    phase: Phase,
+    reft: Ticks,
+    /// Frozen time-tree leaf for the current `msg*`; `None` while no index
+    /// is held (empty queue, or the message sits out of this TTs).
+    time_index: Option<u64>,
+    /// Which message the frozen index belongs to (recompute trigger).
+    time_index_for: Option<MessageId>,
+    /// How many messages this station has transmitted in the current STs.
+    sts_cursor: u64,
+    /// Burst reservation: the source whose burst continues next slot.
+    burst_reserved_for: Option<SourceId>,
+    /// Remaining burst bit budget (meaningful on the bursting station).
+    burst_budget: u64,
+    counters: ProtocolCounters,
+}
+
+impl DdcrStation {
+    /// Creates a station replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DdcrError::InvalidConfig`] if the source is outside
+    /// the allocation or the configuration fails validation.
+    pub fn new(
+        source: SourceId,
+        config: DdcrConfig,
+        allocation: StaticAllocation,
+        overhead_bits: u64,
+    ) -> Result<Self, crate::DdcrError> {
+        config.validate(allocation.sources())?;
+        if source.0 >= allocation.sources() {
+            return Err(crate::DdcrError::InvalidConfig(format!(
+                "source {source} outside allocation of {} sources",
+                allocation.sources()
+            )));
+        }
+        Ok(DdcrStation {
+            source,
+            config,
+            allocation,
+            overhead_bits,
+            queue: EdfQueue::new(),
+            phase: Phase::Tts(TtsState {
+                search: MtsSearch::new(config.time_tree),
+                transmitted_any: false,
+            }),
+            reft: Ticks::ZERO,
+            time_index: None,
+            time_index_for: None,
+            sts_cursor: 0,
+            burst_reserved_for: None,
+            burst_budget: 0,
+            counters: ProtocolCounters {
+                tts_runs: 1,
+                ..ProtocolCounters::default()
+            },
+        })
+    }
+
+    /// The station's source id.
+    pub fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// Event counters accumulated so far.
+    pub fn counters(&self) -> ProtocolCounters {
+        self.counters
+    }
+
+    /// The current reference time `reft`.
+    pub fn reft(&self) -> Ticks {
+        self.reft
+    }
+
+    /// A digest of the **shared** (replica-invariant) protocol state:
+    /// phase kind, search frontier, current interval, `reft`, and burst
+    /// reservation. Every station attached to the same channel must produce
+    /// identical digests at every slot boundary; integration tests assert
+    /// exactly that.
+    pub fn shared_state_digest(&self) -> String {
+        let fmt_interval =
+            |i: Option<Interval>| i.map_or("-".to_owned(), |i| format!("{}+{}", i.lo, i.width));
+        let phase = match &self.phase {
+            Phase::Tts(s) => format!(
+                "TTs(front={},cur={},out={})",
+                s.search.frontier(),
+                fmt_interval(s.search.current()),
+                s.transmitted_any
+            ),
+            Phase::Sts {
+                search,
+                collided_leaf,
+                saved,
+            } => format!(
+                "STs(cur={},leaf={},saved_front={})",
+                fmt_interval(search.current()),
+                collided_leaf,
+                saved.search.frontier()
+            ),
+            Phase::Attempt => "Attempt".to_owned(),
+        };
+        format!(
+            "{phase};reft={};burst={:?}",
+            self.reft, self.burst_reserved_for
+        )
+    }
+
+    /// Raw deadline-class index `⌊(DM(msg) − (α + reft)) / c⌋`, which may
+    /// be negative for "late" messages.
+    fn raw_f(&self, msg: &Message) -> i64 {
+        let dm = msg.absolute_deadline().as_u64() as i128;
+        let origin = (self.config.alpha + self.reft).as_u64() as i128;
+        let c = self.config.class_width.as_u64() as i128;
+        (dm - origin).div_euclid(c) as i64
+    }
+
+    /// Recomputes the frozen time index when `msg*` changed, applying the
+    /// `max{…, f* + 1}` clamp and the `> F − 1` sit-out rule.
+    fn ensure_time_index(&mut self, frontier: u64) {
+        match self.queue.head() {
+            None => {
+                self.time_index = None;
+                self.time_index_for = None;
+            }
+            Some(head) => {
+                if self.time_index_for != Some(head.id) {
+                    let id = head.id;
+                    let clamped = self.raw_f(head).max(frontier as i64) as u64;
+                    self.time_index = if clamped >= self.config.time_tree.leaves() {
+                        None // sits this time tree search out
+                    } else {
+                        Some(clamped)
+                    };
+                    self.time_index_for = Some(id);
+                }
+            }
+        }
+    }
+
+    /// Whether a message may enter the static tree tie-break for a
+    /// collision on `collided_leaf`: its (unclamped) deadline class is the
+    /// collided class or an earlier one.
+    fn eligible_for_sts(&self, msg: &Message, collided_leaf: u64) -> bool {
+        self.raw_f(msg) <= collided_leaf as i64
+    }
+
+    /// Builds the frame for transmitting `msg` now, computing the burst
+    /// continuation flag against the full burst budget.
+    fn initial_frame(&self, msg: Message) -> Frame {
+        let mut frame = Frame::new(msg, msg.bits + self.overhead_bits);
+        if let Some(burst) = self.config.bursting {
+            frame.burst_more = self
+                .queue
+                .second()
+                .is_some_and(|next| next.bits <= burst.max_extra_bits);
+        }
+        frame
+    }
+
+    /// Builds a burst continuation frame for the current head against the
+    /// remaining budget.
+    fn continuation_frame(&self, msg: Message) -> Frame {
+        let mut frame = Frame::new(msg, msg.bits + self.overhead_bits);
+        if self.config.bursting.is_some() {
+            let remaining = self.burst_budget.saturating_sub(msg.bits);
+            frame.burst_more = self
+                .queue
+                .second()
+                .is_some_and(|next| next.bits <= remaining);
+        }
+        frame
+    }
+
+    /// Bookkeeping common to every observed successful transmission:
+    /// dequeues own messages and arms/disarms the burst reservation.
+    /// `fresh_acquisition` marks a first frame (not a continuation), which
+    /// refills the transmitter's burst budget.
+    fn note_delivery(&mut self, frame: &Frame, fresh_acquisition: bool) {
+        if frame.message.source == self.source
+            && self.queue.pop_if(frame.message.id).is_some()
+        {
+            self.counters.transmitted += 1;
+            if fresh_acquisition && frame.burst_more {
+                self.burst_budget = self
+                    .config
+                    .bursting
+                    .map(|b| b.max_extra_bits)
+                    .unwrap_or(0);
+            }
+        }
+        self.burst_reserved_for = if frame.burst_more {
+            Some(frame.message.source)
+        } else {
+            None
+        };
+    }
+
+    /// Starts a fresh time tree search (new `reft`-relative indices).
+    fn start_tts(&mut self) {
+        self.counters.tts_runs += 1;
+        self.time_index = None;
+        self.time_index_for = None;
+        self.phase = Phase::Tts(TtsState {
+            search: MtsSearch::new(self.config.time_tree),
+            transmitted_any: false,
+        });
+    }
+
+    /// Handles the slot observation for a burst-reserved slot; returns
+    /// `true` if the slot was consumed by burst handling.
+    fn observe_burst_slot(&mut self, observation: &Observation) -> bool {
+        if self.burst_reserved_for.is_none() {
+            return false;
+        }
+        match observation {
+            Observation::Busy(frame) => {
+                if frame.message.source == self.source {
+                    self.burst_budget = self.burst_budget.saturating_sub(frame.message.bits);
+                    self.counters.burst_continuations += 1;
+                }
+                self.note_delivery(frame, false);
+            }
+            Observation::Silence => {
+                self.burst_reserved_for = None;
+            }
+            Observation::Collision { survivor } => {
+                // Defensive: a conforming network never collides into a
+                // reserved slot; resolve by dropping the reservation.
+                if let Some(frame) = survivor {
+                    self.note_delivery(frame, false);
+                } else {
+                    self.burst_reserved_for = None;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Station for DdcrStation {
+    fn deliver(&mut self, message: Message) {
+        self.queue.push(message);
+    }
+
+    fn poll(&mut self, _now: Ticks) -> Action {
+        // A burst reservation pre-empts every phase.
+        if let Some(holder) = self.burst_reserved_for {
+            if holder == self.source {
+                if let Some(&head) = self.queue.head() {
+                    if head.bits <= self.burst_budget {
+                        return Action::Transmit(self.continuation_frame(head));
+                    }
+                }
+            }
+            return Action::Idle;
+        }
+        let plan = match &self.phase {
+            Phase::Tts(state) => SlotPlan::Tts {
+                frontier: state.search.frontier(),
+                interval: state.search.current(),
+            },
+            Phase::Sts {
+                search,
+                collided_leaf,
+                ..
+            } => SlotPlan::Sts {
+                interval: search.current(),
+                collided_leaf: *collided_leaf,
+            },
+            Phase::Attempt => SlotPlan::Attempt,
+        };
+        match plan {
+            SlotPlan::Tts { frontier, interval } => {
+                self.ensure_time_index(frontier);
+                let (Some(interval), Some(idx), Some(&head)) =
+                    (interval, self.time_index, self.queue.head())
+                else {
+                    return Action::Idle;
+                };
+                if interval.contains(idx) {
+                    Action::Transmit(self.initial_frame(head))
+                } else {
+                    Action::Idle
+                }
+            }
+            SlotPlan::Sts {
+                interval,
+                collided_leaf,
+            } => {
+                let (Some(interval), Some(&head)) = (interval, self.queue.head()) else {
+                    return Action::Idle;
+                };
+                let indices = self.allocation.indices_of(self.source);
+                let Some(&my_index) = indices.get(self.sts_cursor as usize) else {
+                    return Action::Idle; // ν_i messages already sent this STs
+                };
+                if interval.contains(my_index) && self.eligible_for_sts(&head, collided_leaf)
+                {
+                    Action::Transmit(self.initial_frame(head))
+                } else {
+                    Action::Idle
+                }
+            }
+            SlotPlan::Attempt => match self.queue.head() {
+                Some(&head) => {
+                    self.counters.attempts += 1;
+                    Action::Transmit(self.initial_frame(head))
+                }
+                None => Action::Idle,
+            },
+        }
+    }
+
+    fn observe(&mut self, _now: Ticks, next_free: Ticks, observation: &Observation) {
+        if self.observe_burst_slot(observation) {
+            return;
+        }
+        let (outcome, success_frame) = match observation {
+            Observation::Silence => (SlotOutcome::Empty, None),
+            Observation::Busy(frame) => (SlotOutcome::Success, Some(*frame)),
+            Observation::Collision { survivor } => (SlotOutcome::Collision, *survivor),
+        };
+        match std::mem::replace(&mut self.phase, Phase::Attempt) {
+            Phase::Tts(mut state) => {
+                match outcome {
+                    SlotOutcome::Empty => self.counters.probe_empties += 1,
+                    SlotOutcome::Collision => self.counters.probe_collisions += 1,
+                    SlotOutcome::Success => {}
+                }
+                if let Some(frame) = success_frame {
+                    // Rule: reft := physical time on every successful
+                    // transmission during a time tree search.
+                    self.reft = next_free;
+                    state.transmitted_any = true;
+                    self.note_delivery(&frame, true);
+                }
+                match state.search.feed(outcome) {
+                    MtsEvent::Continue => self.phase = Phase::Tts(state),
+                    MtsEvent::LeafCollision { leaf } => {
+                        self.counters.sts_runs += 1;
+                        self.sts_cursor = 0;
+                        self.phase = Phase::Sts {
+                            search: MtsSearch::new(self.config.static_tree),
+                            collided_leaf: leaf,
+                            saved: state,
+                        };
+                    }
+                    MtsEvent::Done => {
+                        if state.transmitted_any {
+                            // out = true: one CSMA-CD attempt slot follows
+                            // (pseudocode's `attempt transmit msg*`).
+                            self.phase = Phase::Attempt;
+                        } else {
+                            // out = false: compressed-time bump, then loop
+                            // straight into the next TTs (pseudocode).
+                            self.counters.tts_empty_runs += 1;
+                            self.reft += self.config.theta();
+                            if self.config.theta_numerator == 0 {
+                                // Compressed time off: without the bump, a
+                                // message whose deadline class lies beyond
+                                // the horizon would never enter any TTs —
+                                // the attempt slot ("if a message is
+                                // waiting in Q at the end of some execution
+                                // of TTs, its transmission is attempted, à
+                                // la CSMA-CD") is what re-synchronises
+                                // `reft` and bounds the idleness.
+                                self.phase = Phase::Attempt;
+                            } else {
+                                self.start_tts();
+                            }
+                        }
+                    }
+                }
+            }
+            Phase::Sts {
+                mut search,
+                collided_leaf,
+                mut saved,
+            } => {
+                match outcome {
+                    SlotOutcome::Empty => self.counters.probe_empties += 1,
+                    SlotOutcome::Collision => self.counters.probe_collisions += 1,
+                    SlotOutcome::Success => {}
+                }
+                if let Some(frame) = success_frame {
+                    saved.transmitted_any = true;
+                    if frame.message.source == self.source {
+                        self.sts_cursor += 1;
+                    }
+                    self.note_delivery(&frame, true);
+                }
+                let event = search.feed(outcome);
+                if let MtsEvent::LeafCollision { .. } = event {
+                    // A conforming network cannot collide on a static leaf
+                    // (the allocation gives each leaf one owner); this is
+                    // interference — a babbling station or wire fault. The
+                    // probe already consumed the leaf; the owner keeps its
+                    // message and retries in the next search, so resolution
+                    // stays live and replicas stay consistent.
+                    self.counters.interference_collisions += 1;
+                }
+                let done = match event {
+                    MtsEvent::Done => true,
+                    MtsEvent::LeafCollision { .. } => search.is_done(),
+                    MtsEvent::Continue => false,
+                };
+                if done {
+                    // Rule: reft := physical time at STs completion.
+                    self.reft = next_free;
+                    if saved.search.is_done() {
+                        // The suspended TTs had nothing left after the
+                        // collided leaf.
+                        self.phase = Phase::Attempt;
+                    } else {
+                        self.phase = Phase::Tts(saved);
+                    }
+                } else {
+                    self.phase = Phase::Sts {
+                        search,
+                        collided_leaf,
+                        saved,
+                    };
+                }
+            }
+            Phase::Attempt => {
+                match observation {
+                    Observation::Busy(frame) => {
+                        self.note_delivery(frame, true);
+                    }
+                    Observation::Collision { survivor } => {
+                        self.counters.attempt_collisions += 1;
+                        if let Some(frame) = survivor {
+                            self.note_delivery(frame, true);
+                        }
+                        // Rule: reft := physical time after an attempt
+                        // collision.
+                        self.reft = next_free;
+                    }
+                    Observation::Silence => {}
+                }
+                self.start_tts();
+            }
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn label(&self) -> String {
+        format!("ddcr:{}", self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddcr_sim::{ClassId, Engine, MediumConfig};
+
+    fn config() -> DdcrConfig {
+        DdcrConfig::for_sources(4, Ticks(100_000)).unwrap()
+    }
+
+    fn network(z: u32, cfg: DdcrConfig, medium: MediumConfig) -> Engine {
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, z).unwrap();
+        let mut engine = Engine::new(medium).unwrap();
+        for i in 0..z {
+            engine.add_station(Box::new(
+                DdcrStation::new(SourceId(i), cfg, allocation.clone(), medium.overhead_bits)
+                    .unwrap(),
+            ));
+        }
+        engine
+    }
+
+    fn msg(id: u64, source: u32, arrival: u64, deadline: u64) -> Message {
+        Message {
+            id: MessageId(id),
+            source: SourceId(source),
+            class: ClassId(0),
+            bits: 8_000,
+            arrival: Ticks(arrival),
+            deadline: Ticks(deadline),
+        }
+    }
+
+    #[test]
+    fn single_message_goes_through() {
+        let mut engine = network(4, config(), MediumConfig::ethernet());
+        engine.add_arrivals([msg(0, 1, 0, 1_000_000)]).unwrap();
+        engine.run_to_completion(Ticks(10_000_000)).unwrap();
+        assert_eq!(engine.stats().deliveries.len(), 1);
+        assert_eq!(engine.stats().deadline_misses(), 0);
+    }
+
+    #[test]
+    fn two_colliding_messages_resolve_deterministically() {
+        let mut engine = network(4, config(), MediumConfig::ethernet());
+        // Same deadline class → time tree leaf collision → STs tie-break.
+        engine
+            .add_arrivals([msg(0, 0, 0, 500_000), msg(1, 3, 0, 500_000)])
+            .unwrap();
+        engine.run_to_completion(Ticks(10_000_000)).unwrap();
+        let d = &engine.stats().deliveries;
+        assert_eq!(d.len(), 2);
+        // Static tie-break: source 0 owns leaf 0 < source 3's leaf 3.
+        assert_eq!(d[0].message.source, SourceId(0));
+        assert_eq!(d[1].message.source, SourceId(3));
+        assert_eq!(engine.stats().deadline_misses(), 0);
+    }
+
+    #[test]
+    fn earlier_deadline_transmits_first_across_classes() {
+        let mut engine = network(4, config(), MediumConfig::ethernet());
+        engine
+            .add_arrivals([
+                msg(0, 0, 0, 3_000_000), // later class
+                msg(1, 1, 0, 400_000),   // much earlier class
+            ])
+            .unwrap();
+        engine.run_to_completion(Ticks(20_000_000)).unwrap();
+        let d = &engine.stats().deliveries;
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].message.id, MessageId(1), "EDF order violated");
+    }
+
+    #[test]
+    fn heavy_same_class_burst_all_delivered() {
+        let mut engine = network(4, config(), MediumConfig::ethernet());
+        let arrivals: Vec<Message> = (0..12)
+            .map(|i| msg(i, (i % 4) as u32, 0, 4_000_000))
+            .collect();
+        engine.add_arrivals(arrivals).unwrap();
+        engine.run_to_completion(Ticks(50_000_000)).unwrap();
+        assert_eq!(engine.stats().deliveries.len(), 12);
+        assert_eq!(engine.stats().deadline_misses(), 0);
+    }
+
+    #[test]
+    fn idle_protocol_consumes_bounded_overhead() {
+        let cfg = config();
+        let mut engine = network(2, cfg, MediumConfig::ethernet());
+        engine.run_until(Ticks(512 * 100));
+        // Idle cycle: m empty probes + 1 silent attempt slot; never a
+        // collision, never a delivery.
+        assert_eq!(engine.stats().collisions, 0);
+        assert!(engine.stats().deliveries.is_empty());
+        assert_eq!(engine.stats().silence_slots, 100);
+    }
+
+    #[test]
+    fn late_message_enters_immediately() {
+        // A message whose deadline is already very close (raw index would
+        // be negative) must be clamped into the frontier, not dropped.
+        let mut engine = network(4, config(), MediumConfig::ethernet());
+        engine.add_arrivals([msg(0, 2, 700_000, 150_000)]).unwrap();
+        engine.run_to_completion(Ticks(10_000_000)).unwrap();
+        assert_eq!(engine.stats().deliveries.len(), 1);
+    }
+
+    #[test]
+    fn far_deadline_message_sits_out_then_delivers() {
+        // Deadline far beyond the scheduling horizon c·F = 6.4 ms.
+        let mut engine = network(4, config(), MediumConfig::ethernet());
+        engine.add_arrivals([msg(0, 1, 0, 60_000_000)]).unwrap();
+        engine.run_to_completion(Ticks(200_000_000)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.deliveries.len(), 1);
+        // Delivered via the attempt slot long before the deadline.
+        assert!(stats.deliveries[0].completed_at < Ticks(60_000_000));
+    }
+
+    #[test]
+    fn arbitrating_medium_still_delivers_everything() {
+        let mut engine = network(4, config(), MediumConfig::atm_internal_bus());
+        let arrivals: Vec<Message> =
+            (0..8).map(|i| msg(i, (i % 4) as u32, 0, 4_000_000)).collect();
+        engine.add_arrivals(arrivals).unwrap();
+        engine.run_to_completion(Ticks(50_000_000)).unwrap();
+        assert_eq!(engine.stats().deliveries.len(), 8);
+        assert_eq!(engine.stats().deadline_misses(), 0);
+    }
+
+    #[test]
+    fn bursting_transmits_back_to_back() {
+        let cfg = config().with_bursting(crate::config::BurstConfig::default());
+        let mut engine = network(4, cfg, MediumConfig::ethernet());
+        // Three small messages at one source: the first transmission should
+        // carry the rest as burst continuations (≤ 512 bytes total extra).
+        let arrivals: Vec<Message> = (0..3)
+            .map(|i| Message {
+                bits: 1_000,
+                ..msg(i, 1, 0, 2_000_000)
+            })
+            .collect();
+        engine.add_arrivals(arrivals).unwrap();
+        engine.run_to_completion(Ticks(20_000_000)).unwrap();
+        assert_eq!(engine.stats().deliveries.len(), 3);
+        // The three deliveries complete back to back: gaps between
+        // consecutive completions equal exactly one frame duration.
+        let d = engine.stats().deliveries.clone();
+        let wire = 1_000 + MediumConfig::ethernet().overhead_bits;
+        assert_eq!(d[1].completed_at - d[0].completed_at, Ticks(wire));
+        assert_eq!(d[2].completed_at - d[1].completed_at, Ticks(wire));
+    }
+
+    /// Drives one station against a perfect channel and returns it after
+    /// the queue drains.
+    fn drive_solo(mut station: DdcrStation, arrivals: Vec<Message>) -> DdcrStation {
+        for m in arrivals {
+            station.deliver(m);
+        }
+        let mut now = Ticks::ZERO;
+        for _ in 0..10_000 {
+            if station.backlog() == 0 {
+                break;
+            }
+            let action = station.poll(now);
+            let (obs, advance) = match action {
+                Action::Transmit(f) => (Observation::Busy(f), f.duration()),
+                Action::Idle => (Observation::Silence, Ticks(512)),
+            };
+            let next_free = now + advance;
+            station.observe(now, next_free, &obs);
+            now = next_free;
+        }
+        assert_eq!(station.backlog(), 0, "queue failed to drain");
+        station
+    }
+
+    #[test]
+    fn burst_budget_limits_continuations() {
+        let medium = MediumConfig::ethernet();
+        let arrivals = |n: u64| -> Vec<Message> {
+            (0..n)
+                .map(|i| Message {
+                    bits: 1_000,
+                    ..msg(i, 0, 0, 2_000_000)
+                })
+                .collect()
+        };
+        let alloc = |cfg: &DdcrConfig| StaticAllocation::one_per_source(cfg.static_tree, 1).unwrap();
+
+        // Budget 1500 bits: one 1000-bit continuation per acquisition.
+        let cfg = DdcrConfig::for_sources(1, Ticks(100_000))
+            .unwrap()
+            .with_bursting(crate::config::BurstConfig { max_extra_bits: 1_500 });
+        let station = drive_solo(
+            DdcrStation::new(SourceId(0), cfg, alloc(&cfg), medium.overhead_bits).unwrap(),
+            arrivals(4),
+        );
+        assert_eq!(station.counters().transmitted, 4);
+        assert_eq!(station.counters().burst_continuations, 2); // (0→1), (2→3)
+
+        // Default 4096-bit budget: three continuations after one acquisition.
+        let cfg = DdcrConfig::for_sources(1, Ticks(100_000))
+            .unwrap()
+            .with_bursting(crate::config::BurstConfig::default());
+        let station = drive_solo(
+            DdcrStation::new(SourceId(0), cfg, alloc(&cfg), medium.overhead_bits).unwrap(),
+            arrivals(4),
+        );
+        assert_eq!(station.counters().burst_continuations, 3);
+
+        // Bursting disabled: none.
+        let cfg = DdcrConfig::for_sources(1, Ticks(100_000)).unwrap();
+        let station = drive_solo(
+            DdcrStation::new(SourceId(0), cfg, alloc(&cfg), medium.overhead_bits).unwrap(),
+            arrivals(4),
+        );
+        assert_eq!(station.counters().burst_continuations, 0);
+    }
+
+    #[test]
+    fn replicas_agree_on_shared_state() {
+        let cfg = config();
+        let medium = MediumConfig::ethernet();
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, 3).unwrap();
+        let mut stations: Vec<DdcrStation> = (0..3)
+            .map(|i| {
+                DdcrStation::new(SourceId(i), cfg, allocation.clone(), medium.overhead_bits)
+                    .unwrap()
+            })
+            .collect();
+        stations[0].deliver(msg(0, 0, 0, 500_000));
+        stations[1].deliver(msg(1, 1, 0, 500_000));
+        stations[2].deliver(msg(2, 2, 0, 900_000));
+        // Drive the three replicas by hand against a perfect channel.
+        let mut now = Ticks::ZERO;
+        for _ in 0..400 {
+            let actions: Vec<Action> = stations.iter_mut().map(|s| s.poll(now)).collect();
+            let frames: Vec<Frame> = actions
+                .iter()
+                .filter_map(|a| match a {
+                    Action::Transmit(f) => Some(*f),
+                    Action::Idle => None,
+                })
+                .collect();
+            let (obs, advance) = match frames.len() {
+                0 => (Observation::Silence, Ticks(512)),
+                1 => (Observation::Busy(frames[0]), frames[0].duration()),
+                _ => (Observation::Collision { survivor: None }, Ticks(512)),
+            };
+            let next_free = now + advance;
+            for s in &mut stations {
+                s.observe(now, next_free, &obs);
+            }
+            let digests: Vec<String> =
+                stations.iter().map(|s| s.shared_state_digest()).collect();
+            assert_eq!(digests[0], digests[1], "replica divergence at {now}");
+            assert_eq!(digests[1], digests[2], "replica divergence at {now}");
+            now = next_free;
+        }
+        assert!(stations.iter().all(|s| s.backlog() == 0));
+    }
+
+    #[test]
+    fn rejects_source_outside_allocation() {
+        let cfg = config();
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, 2).unwrap();
+        assert!(DdcrStation::new(SourceId(5), cfg, allocation, 208).is_err());
+    }
+}

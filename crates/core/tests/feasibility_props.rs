@@ -1,0 +1,126 @@
+//! Property-based tests of the feasibility conditions' structure: the
+//! bound `B_DDCR` must respond monotonically to every knob a designer can
+//! turn, or the dimensioning search built on it is meaningless.
+
+use ddcr_core::{feasibility, DdcrConfig, StaticAllocation};
+use ddcr_sim::{ClassId, MediumConfig, SourceId, Ticks};
+use ddcr_traffic::{DensityBound, MessageClass, MessageSet};
+use proptest::prelude::*;
+
+fn make_set(z: u32, bits: u64, a: u64, w: u64, d: u64) -> MessageSet {
+    let classes = (0..z)
+        .map(|s| MessageClass {
+            id: ClassId(s),
+            name: format!("c{s}"),
+            source: SourceId(s),
+            bits,
+            deadline: Ticks(d),
+            density: DensityBound::new(a, Ticks(w)).unwrap(),
+        })
+        .collect();
+    MessageSet::new(z, classes).unwrap()
+}
+
+fn bound_of(set: &MessageSet, nu_round_robin: bool) -> f64 {
+    let medium = MediumConfig::ethernet();
+    let c = ddcr_core::network::recommended_class_width(set, 64, &medium);
+    let config = DdcrConfig::for_sources(set.sources(), c).unwrap();
+    let allocation = if nu_round_robin {
+        StaticAllocation::round_robin(config.static_tree, set.sources()).unwrap()
+    } else {
+        StaticAllocation::one_per_source(config.static_tree, set.sources()).unwrap()
+    };
+    feasibility::evaluate(set, &config, &allocation, &medium)
+        .unwrap()
+        .per_class[0]
+        .bound
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More interfering sources can only raise the bound.
+    #[test]
+    fn bound_monotone_in_sources(
+        z in 2u32..6,
+        bits in 1_000u64..16_000,
+        a in 1u64..4,
+        w in 500_000u64..4_000_000,
+        d in 500_000u64..4_000_000,
+    ) {
+        let small = bound_of(&make_set(z, bits, a, w, d), true);
+        let large = bound_of(&make_set(z + 1, bits, a, w, d), true);
+        prop_assert!(large >= small - 1e-6, "sources {z}→{}: {small} → {large}", z + 1);
+    }
+
+    /// A higher arrival density (same window) can only raise the bound.
+    #[test]
+    fn bound_monotone_in_density(
+        z in 2u32..5,
+        bits in 1_000u64..16_000,
+        a in 1u64..4,
+        w in 500_000u64..4_000_000,
+        d in 500_000u64..4_000_000,
+    ) {
+        let sparse = bound_of(&make_set(z, bits, a, w, d), true);
+        let dense = bound_of(&make_set(z, bits, a + 1, w, d), true);
+        prop_assert!(dense >= sparse - 1e-6);
+    }
+
+    /// Longer messages can only raise the bound.
+    #[test]
+    fn bound_monotone_in_length(
+        z in 2u32..5,
+        bits in 1_000u64..16_000,
+        a in 1u64..4,
+        w in 500_000u64..4_000_000,
+        d in 500_000u64..4_000_000,
+    ) {
+        let short = bound_of(&make_set(z, bits, a, w, d), true);
+        let long = bound_of(&make_set(z, bits + 4_000, a, w, d), true);
+        prop_assert!(long >= short - 1e-6);
+    }
+
+    /// More static indices per source (round-robin vs one-per-source) can
+    /// only shrink `v(M)` and hence the bound.
+    #[test]
+    fn more_indices_never_hurt(
+        z in 2u32..6,
+        bits in 1_000u64..16_000,
+        a in 1u64..4,
+        w in 500_000u64..4_000_000,
+        d in 500_000u64..4_000_000,
+    ) {
+        let set = make_set(z, bits, a, w, d);
+        let one = bound_of(&set, false);
+        let many = bound_of(&set, true);
+        prop_assert!(many <= one + 1e-6, "nu>1 worsened the bound: {one} → {many}");
+    }
+
+    /// The bound decomposition is consistent: transmission + slot·search
+    /// equals the total, and the transmission fraction is in [0, 1].
+    #[test]
+    fn decomposition_is_consistent(
+        z in 2u32..6,
+        bits in 1_000u64..16_000,
+        a in 1u64..4,
+        w in 500_000u64..4_000_000,
+        d in 500_000u64..4_000_000,
+    ) {
+        let set = make_set(z, bits, a, w, d);
+        let medium = MediumConfig::ethernet();
+        let c = ddcr_core::network::recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(z, c).unwrap();
+        let allocation = StaticAllocation::round_robin(config.static_tree, z).unwrap();
+        let report = feasibility::evaluate(&set, &config, &allocation, &medium).unwrap();
+        for cl in &report.per_class {
+            let rebuilt = cl.transmission_ticks as f64
+                + medium.slot_ticks as f64 * (cl.s1_slots + cl.s2_slots);
+            prop_assert!((rebuilt - cl.bound).abs() < 1e-6);
+            let frac = cl.transmission_fraction();
+            prop_assert!((0.0..=1.0).contains(&frac));
+            prop_assert!((cl.search_slots - (cl.s1_slots + cl.s2_slots)).abs() < 1e-9);
+            prop_assert_eq!(cl.feasible, cl.slack() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the parallel-media planner: partitions are
+//! total and disjoint, balancing is sane, and feasibility composes
+//! monotonically with bus count.
+
+use ddcr_core::{feasibility, multibus, network, DdcrConfig, StaticAllocation};
+use ddcr_sim::{ClassId, MediumConfig, SourceId, Ticks};
+use ddcr_traffic::{DensityBound, MessageClass, MessageSet};
+use proptest::prelude::*;
+
+fn random_set(z: u32, per_source: usize, seed: u64) -> MessageSet {
+    let mut s = seed;
+    let mut next = move |range: std::ops::RangeInclusive<u64>| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        range.start() + (s >> 33) % (range.end() - range.start() + 1)
+    };
+    let mut classes = Vec::new();
+    let mut id = 0u32;
+    for src in 0..z {
+        for _ in 0..per_source {
+            classes.push(MessageClass {
+                id: ClassId(id),
+                name: format!("c{id}"),
+                source: SourceId(src),
+                bits: next(1_000..=16_000),
+                deadline: Ticks(next(500_000..=8_000_000)),
+                density: DensityBound::new(next(1..=3), Ticks(next(500_000..=4_000_000)))
+                    .unwrap(),
+            });
+            id += 1;
+        }
+    }
+    MessageSet::new(z, classes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Balancing always produces a total, in-range assignment whose
+    /// projections partition the class set exactly.
+    #[test]
+    fn balance_partitions_exactly(
+        z in 2u32..6,
+        per_source in 1usize..4,
+        buses in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let set = random_set(z, per_source, seed);
+        let assignment = multibus::balance_by_load(&set, buses);
+        prop_assert_eq!(assignment.buses(), buses);
+        let mut seen = 0usize;
+        let mut total_load = 0.0;
+        for bus in 0..buses {
+            let projected = assignment.project(&set, bus).unwrap();
+            seen += projected.classes().len();
+            total_load += projected.offered_load();
+            for class in projected.classes() {
+                prop_assert_eq!(assignment.bus_of(class.id), bus);
+            }
+        }
+        prop_assert_eq!(seen, set.classes().len());
+        prop_assert!((total_load - set.offered_load()).abs() < 1e-9);
+    }
+
+    /// LPT balancing: no bus carries more than the lightest bus plus one
+    /// largest class (the classical LPT guarantee shape).
+    #[test]
+    fn balance_is_roughly_even(
+        z in 2u32..6,
+        per_source in 2usize..4,
+        buses in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let set = random_set(z, per_source, seed);
+        let assignment = multibus::balance_by_load(&set, buses);
+        let loads: Vec<f64> = (0..buses)
+            .map(|b| assignment.project(&set, b).unwrap().offered_load())
+            .collect();
+        let max_class = set
+            .classes()
+            .iter()
+            .map(|c| c.offered_load())
+            .fold(0.0, f64::max);
+        let hi = loads.iter().cloned().fold(0.0, f64::max);
+        let lo = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(hi <= lo + max_class + 1e-9, "{loads:?}, max class {max_class}");
+    }
+
+    /// Splitting over more busses never turns a feasible projection
+    /// infeasible: per-bus minimum slack is monotone non-decreasing in the
+    /// bus count when classes only ever move apart.
+    #[test]
+    fn single_bus_feasible_implies_multibus_feasible(
+        z in 2u32..5,
+        per_source in 1usize..3,
+        buses in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let set = random_set(z, per_source, seed);
+        let medium = MediumConfig::ethernet();
+        let c = network::recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(z, c).unwrap();
+        let allocation = StaticAllocation::round_robin(config.static_tree, z).unwrap();
+        let single = feasibility::evaluate(&set, &config, &allocation, &medium).unwrap();
+        prop_assume!(single.feasible());
+        let assignment = multibus::balance_by_load(&set, buses);
+        let reports =
+            multibus::evaluate(&set, &assignment, &config, &allocation, &medium).unwrap();
+        for report in &reports {
+            prop_assert!(
+                report.feasible(),
+                "splitting a feasible set made a bus infeasible"
+            );
+        }
+    }
+}

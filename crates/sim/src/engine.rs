@@ -1,0 +1,438 @@
+//! The slot-synchronous simulation engine.
+//!
+//! The engine advances a single broadcast channel through decision slots.
+//! At each decision point it (1) delivers due message arrivals to their
+//! stations, (2) polls every station for an [`Action`], (3) resolves the
+//! channel state exactly as the paper's model prescribes — silence, busy,
+//! or collision — and (4) reports the identical [`Observation`] to every
+//! station. Time advances by one slot time `x` for silence and destructive
+//! collisions, and by the frame duration `l'` for successful transmissions
+//! (throughput normalised to 1 bit/tick), which keeps the engine's
+//! accounting aligned with the `B_DDCR` bound of §4.3 (`Σ l'/ψ + x·S`).
+
+use crate::channel::{Action, CollisionMode, MediumConfig, Observation};
+use crate::message::{Delivery, Frame, Message};
+use crate::station::Station;
+use crate::stats::ChannelStats;
+use crate::time::Ticks;
+use crate::trace::{Trace, TraceEvent};
+
+/// Error raised when assembling or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The medium configuration is physically implausible.
+    InvalidMedium(String),
+    /// A message routes to a station index that was never added.
+    UnknownSource {
+        /// The message's source id.
+        source: u32,
+        /// Number of stations attached.
+        stations: usize,
+    },
+    /// `run_to_completion` exceeded its tick budget with work outstanding.
+    Timeout {
+        /// Time at which the run gave up.
+        at: Ticks,
+        /// Messages still queued across all stations.
+        backlog: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidMedium(msg) => write!(f, "invalid medium: {msg}"),
+            SimError::UnknownSource { source, stations } => {
+                write!(f, "message for source {source} but only {stations} stations attached")
+            }
+            SimError::Timeout { at, backlog } => {
+                write!(f, "simulation timed out at {at} with backlog {backlog}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The simulation engine: one broadcast medium plus its stations.
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_sim::{Engine, MediumConfig};
+///
+/// # fn main() -> Result<(), ddcr_sim::SimError> {
+/// let engine = Engine::new(MediumConfig::ethernet())?;
+/// assert_eq!(engine.now(), ddcr_sim::Ticks::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Engine {
+    medium: MediumConfig,
+    stations: Vec<Box<dyn Station>>,
+    /// Future arrivals, sorted descending by (time, id) so `pop` yields the
+    /// earliest.
+    pending: Vec<Message>,
+    now: Ticks,
+    stats: ChannelStats,
+    trace: Trace,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("medium", &self.medium)
+            .field("stations", &self.stations.len())
+            .field("pending", &self.pending.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine over the given medium.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidMedium`] if the configuration fails
+    /// validation.
+    pub fn new(medium: MediumConfig) -> Result<Self, SimError> {
+        medium.validate().map_err(SimError::InvalidMedium)?;
+        Ok(Engine {
+            medium,
+            stations: Vec::new(),
+            pending: Vec::new(),
+            now: Ticks::ZERO,
+            stats: ChannelStats::default(),
+            trace: Trace::default(),
+        })
+    }
+
+    /// Attaches a station; stations are indexed by attachment order, which
+    /// must match the `SourceId`s used in the workload.
+    pub fn add_station(&mut self, station: Box<dyn Station>) -> &mut Self {
+        self.stations.push(station);
+        self
+    }
+
+    /// Enables channel tracing.
+    pub fn set_trace(&mut self, trace: Trace) -> &mut Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Schedules a batch of future arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSource`] if a message's source index is
+    /// out of range for the attached stations.
+    pub fn add_arrivals<I>(&mut self, arrivals: I) -> Result<&mut Self, SimError>
+    where
+        I: IntoIterator<Item = Message>,
+    {
+        for msg in arrivals {
+            if msg.source.0 as usize >= self.stations.len() {
+                return Err(SimError::UnknownSource {
+                    source: msg.source.0,
+                    stations: self.stations.len(),
+                });
+            }
+            self.pending.push(msg);
+        }
+        // Descending, so the earliest (smallest) arrival is at the end.
+        self.pending
+            .sort_by_key(|m| std::cmp::Reverse((m.arrival, m.id)));
+        Ok(self)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Ticks {
+        self.now
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// The channel trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Read access to an attached station (for protocol-state assertions in
+    /// tests).
+    pub fn station(&self, index: usize) -> Option<&dyn Station> {
+        self.stations.get(index).map(|b| b.as_ref())
+    }
+
+    /// Total messages queued across all stations plus not-yet-delivered
+    /// arrivals.
+    pub fn backlog(&self) -> usize {
+        self.stations.iter().map(|s| s.backlog()).sum::<usize>() + self.pending.len()
+    }
+
+    /// Runs until `deadline` (inclusive of the slot straddling it).
+    pub fn run_until(&mut self, deadline: Ticks) {
+        while self.now < deadline {
+            self.step();
+        }
+        self.stats.total_ticks = self.now;
+    }
+
+    /// Runs until every scheduled arrival has been delivered **and** every
+    /// station's queue has drained, or until `max` ticks have elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the budget is exhausted first.
+    pub fn run_to_completion(&mut self, max: Ticks) -> Result<(), SimError> {
+        while self.backlog() > 0 {
+            if self.now >= max {
+                self.stats.total_ticks = self.now;
+                return Err(SimError::Timeout {
+                    at: self.now,
+                    backlog: self.backlog(),
+                });
+            }
+            self.step();
+        }
+        self.stats.total_ticks = self.now;
+        Ok(())
+    }
+
+    /// Consumes the engine, returning the final statistics.
+    pub fn into_stats(mut self) -> ChannelStats {
+        self.stats.total_ticks = self.now;
+        self.stats
+    }
+
+    /// Executes one decision slot.
+    fn step(&mut self) {
+        self.deliver_due();
+        let mut transmitters: Vec<(usize, Frame)> = Vec::new();
+        for (idx, station) in self.stations.iter_mut().enumerate() {
+            if let Action::Transmit(frame) = station.poll(self.now) {
+                transmitters.push((idx, frame));
+            }
+        }
+        let slot = Ticks(self.medium.slot_ticks);
+        let (observation, advance) = match transmitters.len() {
+            0 => (Observation::Silence, slot),
+            1 => {
+                let frame = transmitters[0].1;
+                (Observation::Busy(frame), frame.duration())
+            }
+            _ => match self.medium.collision_mode {
+                CollisionMode::Destructive => (Observation::Collision { survivor: None }, slot),
+                CollisionMode::Arbitrating => {
+                    // Lowest source id wins bit-level arbitration.
+                    let winner = transmitters
+                        .iter()
+                        .min_by_key(|(_, f)| f.message.source)
+                        .expect("non-empty")
+                        .1;
+                    (
+                        Observation::Collision {
+                            survivor: Some(winner),
+                        },
+                        winner.duration(),
+                    )
+                }
+            },
+        };
+        let next_free = self.now + advance;
+        self.account(&observation, next_free);
+        for station in &mut self.stations {
+            station.observe(self.now, next_free, &observation);
+        }
+        self.now = next_free;
+    }
+
+    /// Updates stats and trace for one resolved slot.
+    fn account(&mut self, observation: &Observation, next_free: Ticks) {
+        match observation {
+            Observation::Silence => {
+                self.stats.silence_slots += 1;
+                self.trace.record(TraceEvent::Silence { at: self.now });
+            }
+            Observation::Busy(frame) => {
+                self.stats.busy_ticks += frame.duration();
+                self.trace.record(TraceEvent::TxStart {
+                    at: self.now,
+                    message: frame.message.id,
+                });
+                self.trace.record(TraceEvent::TxEnd {
+                    at: next_free,
+                    message: frame.message.id,
+                });
+                self.stats.deliveries.push(Delivery {
+                    message: frame.message,
+                    completed_at: next_free,
+                });
+            }
+            Observation::Collision { survivor } => {
+                self.stats.collisions += 1;
+                self.trace.record(TraceEvent::Collision {
+                    at: self.now,
+                    survivor: survivor.map(|f| f.message.id),
+                });
+                if let Some(frame) = survivor {
+                    self.stats.busy_ticks += frame.duration();
+                    self.trace.record(TraceEvent::TxEnd {
+                        at: next_free,
+                        message: frame.message.id,
+                    });
+                    self.stats.deliveries.push(Delivery {
+                        message: frame.message,
+                        completed_at: next_free,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Hands every arrival with `T ≤ now` to its station.
+    fn deliver_due(&mut self) {
+        while let Some(msg) = self.pending.last() {
+            if msg.arrival > self.now {
+                break;
+            }
+            let msg = self.pending.pop().expect("checked non-empty");
+            self.stations[msg.source.0 as usize].deliver(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ClassId, MessageId, SourceId};
+    use crate::station::test_support::GreedyStation;
+
+    fn msg(id: u64, source: u32, arrival: u64) -> Message {
+        Message {
+            id: MessageId(id),
+            source: SourceId(source),
+            class: ClassId(0),
+            bits: 1000,
+            arrival: Ticks(arrival),
+            deadline: Ticks(1_000_000),
+        }
+    }
+
+    fn engine_with_stations(n: usize) -> Engine {
+        let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+        for _ in 0..n {
+            e.add_station(Box::new(GreedyStation::new(
+                MediumConfig::ethernet().overhead_bits,
+            )));
+        }
+        e
+    }
+
+    #[test]
+    fn silent_channel_advances_by_slots() {
+        let mut e = engine_with_stations(2);
+        e.run_until(Ticks(5120));
+        assert_eq!(e.stats().silence_slots, 10);
+        assert_eq!(e.now(), Ticks(5120));
+    }
+
+    #[test]
+    fn single_transmitter_succeeds() {
+        let mut e = engine_with_stations(2);
+        e.add_arrivals([msg(0, 0, 0)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        assert_eq!(e.stats().deliveries.len(), 1);
+        assert_eq!(e.stats().collisions, 0);
+        let d = e.stats().deliveries[0];
+        assert_eq!(d.completed_at, Ticks(1208)); // 1000 + 26*8 overhead bits
+    }
+
+    #[test]
+    fn two_greedy_stations_collide_forever() {
+        let mut e = engine_with_stations(2);
+        e.add_arrivals([msg(0, 0, 0), msg(1, 1, 0)]).unwrap();
+        let err = e.run_to_completion(Ticks(51_200)).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }));
+        assert!(e.stats().collisions >= 99); // every slot is a collision
+        assert!(e.stats().deliveries.is_empty());
+    }
+
+    #[test]
+    fn arbitrating_medium_lets_lowest_source_win() {
+        let mut cfg = MediumConfig::ethernet();
+        cfg.collision_mode = CollisionMode::Arbitrating;
+        let mut e = Engine::new(cfg).unwrap();
+        for _ in 0..2 {
+            e.add_station(Box::new(GreedyStation::new(cfg.overhead_bits)));
+        }
+        e.add_arrivals([msg(0, 0, 0), msg(1, 1, 0)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        assert_eq!(e.stats().deliveries.len(), 2);
+        // Source 0 wins the arbitration; both eventually deliver.
+        assert_eq!(e.stats().deliveries[0].message.source, SourceId(0));
+        assert_eq!(e.stats().deliveries[1].message.source, SourceId(1));
+        assert_eq!(e.stats().collisions, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_source() {
+        let mut e = engine_with_stations(1);
+        let err = e.add_arrivals([msg(0, 5, 0)]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::UnknownSource {
+                source: 5,
+                stations: 1
+            }
+        );
+    }
+
+    #[test]
+    fn arrivals_delivered_in_time_order() {
+        let mut e = engine_with_stations(1);
+        e.add_arrivals([msg(1, 0, 2000), msg(0, 0, 0)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        let ids: Vec<u64> = e.stats().deliveries.iter().map(|d| d.message.id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn trace_records_channel_history() {
+        let mut e = engine_with_stations(1);
+        e.set_trace(Trace::enabled());
+        e.add_arrivals([msg(0, 0, 512)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        let events = e.trace().events();
+        assert!(matches!(events[0], TraceEvent::Silence { .. }));
+        assert!(matches!(events[1], TraceEvent::TxStart { .. }));
+        assert!(matches!(events[2], TraceEvent::TxEnd { .. }));
+    }
+
+    #[test]
+    fn stats_total_time_set_on_completion() {
+        let mut e = engine_with_stations(1);
+        e.add_arrivals([msg(0, 0, 0)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        assert_eq!(e.stats().total_ticks, e.now());
+        let stats = e.into_stats();
+        assert!(stats.total_ticks > Ticks::ZERO);
+    }
+
+    #[test]
+    fn invalid_medium_rejected() {
+        let cfg = MediumConfig {
+            slot_ticks: 0,
+            overhead_bits: 0,
+            collision_mode: CollisionMode::Destructive,
+        };
+        assert!(matches!(
+            Engine::new(cfg),
+            Err(SimError::InvalidMedium(_))
+        ));
+    }
+}

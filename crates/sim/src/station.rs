@@ -1,0 +1,102 @@
+//! The station abstraction every MAC protocol implements.
+
+use crate::channel::{Action, Observation};
+use crate::message::Message;
+use crate::time::Ticks;
+
+/// A station (message source `s_i`) attached to the broadcast medium.
+///
+/// The engine drives each station through a strict slot-synchronous cycle:
+///
+/// 1. [`Station::deliver`] hands over messages whose arrival time has been
+///    reached (the local queue `Q_i` is the station's own business);
+/// 2. [`Station::poll`] asks for this slot's [`Action`];
+/// 3. after resolving all actions, [`Station::observe`] reports the channel
+///    [`Observation`] — identically to every station, which is what makes
+///    replicated deterministic protocols such as CSMA/DDCR possible.
+///
+/// Implementations must be deterministic functions of their inputs (plus
+/// any seeded RNG they own) so that simulations are reproducible.
+pub trait Station {
+    /// Accepts a newly arrived message into the local queue.
+    fn deliver(&mut self, message: Message);
+
+    /// Decides the action for the decision slot starting at `now`.
+    fn poll(&mut self, now: Ticks) -> Action;
+
+    /// Hears the channel outcome of the slot that started at `now`;
+    /// `next_free` is when the channel becomes free again (equal to
+    /// `now + x` for silence/destructive collisions, or the end of the
+    /// surviving frame otherwise).
+    fn observe(&mut self, now: Ticks, next_free: Ticks, observation: &Observation);
+
+    /// Number of messages still queued locally (for run-to-completion
+    /// termination checks).
+    fn backlog(&self) -> usize;
+
+    /// A short label for traces and error messages.
+    fn label(&self) -> String {
+        format!("station(backlog={})", self.backlog())
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::message::Frame;
+    use std::collections::VecDeque;
+
+    /// A trivially greedy station: transmits the head of its FIFO queue
+    /// whenever it believes the channel is free, never backs off. Useful
+    /// for exercising the engine's collision logic in tests.
+    #[derive(Debug, Default)]
+    pub struct GreedyStation {
+        pub queue: VecDeque<Message>,
+        pub overhead_bits: u64,
+        pub observations: Vec<Observation>,
+    }
+
+    impl GreedyStation {
+        pub fn new(overhead_bits: u64) -> Self {
+            GreedyStation {
+                queue: VecDeque::new(),
+                overhead_bits,
+                observations: Vec::new(),
+            }
+        }
+    }
+
+    impl Station for GreedyStation {
+        fn deliver(&mut self, message: Message) {
+            self.queue.push_back(message);
+        }
+
+        fn poll(&mut self, _now: Ticks) -> Action {
+            match self.queue.front() {
+                Some(&message) => Action::Transmit(Frame::new(
+                    message,
+                    message.bits + self.overhead_bits,
+                )),
+                None => Action::Idle,
+            }
+        }
+
+        fn observe(&mut self, _now: Ticks, _next_free: Ticks, observation: &Observation) {
+            let transmitted = match observation {
+                Observation::Busy(frame) => Some(frame.message.id),
+                Observation::Collision {
+                    survivor: Some(frame),
+                } => Some(frame.message.id),
+                _ => None,
+            };
+            if transmitted.is_some() && self.queue.front().map(|m| m.id) == transmitted {
+                self.queue.pop_front();
+            }
+            self.observations.push(*observation);
+        }
+
+        fn backlog(&self) -> usize {
+            self.queue.len()
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Channel-level statistics and per-run metrics.
+
+use crate::message::{Delivery, SourceId};
+use crate::time::Ticks;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one simulation run.
+///
+/// Utilization and overhead follow the paper's accounting: successful
+/// transmission time is useful work; collision slots and silence slots are
+/// overhead (the quantity `ξ` bounds); the channel is otherwise idle.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Slots in which no station transmitted.
+    pub silence_slots: u64,
+    /// Collision events (each costs one slot under destructive collisions).
+    pub collisions: u64,
+    /// Ticks spent on successful frame transmission (including the
+    /// surviving frame of an arbitrated collision).
+    pub busy_ticks: Ticks,
+    /// Total simulated time.
+    pub total_ticks: Ticks,
+    /// Every completed transmission, in completion order.
+    pub deliveries: Vec<Delivery>,
+}
+
+impl ChannelStats {
+    /// Channel utilization: fraction of time spent on successful
+    /// transmissions.
+    pub fn utilization(&self) -> f64 {
+        if self.total_ticks == Ticks::ZERO {
+            0.0
+        } else {
+            self.busy_ticks.as_u64() as f64 / self.total_ticks.as_u64() as f64
+        }
+    }
+
+    /// Number of deliveries that missed their hard deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.deliveries.iter().filter(|d| !d.deadline_met()).count()
+    }
+
+    /// Deadline miss ratio over all deliveries (0 when nothing delivered).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.deliveries.is_empty() {
+            0.0
+        } else {
+            self.deadline_misses() as f64 / self.deliveries.len() as f64
+        }
+    }
+
+    /// Worst observed transmission latency.
+    pub fn max_latency(&self) -> Ticks {
+        self.deliveries
+            .iter()
+            .map(Delivery::latency)
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Worst observed lateness beyond a deadline (zero when all met).
+    pub fn max_lateness(&self) -> Ticks {
+        self.deliveries
+            .iter()
+            .map(Delivery::lateness)
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Mean transmission latency (0 when nothing delivered).
+    pub fn mean_latency(&self) -> f64 {
+        if self.deliveries.is_empty() {
+            0.0
+        } else {
+            self.deliveries
+                .iter()
+                .map(|d| d.latency().as_u64() as f64)
+                .sum::<f64>()
+                / self.deliveries.len() as f64
+        }
+    }
+
+    /// Deliveries originating from one source.
+    pub fn deliveries_from(&self, source: SourceId) -> impl Iterator<Item = &Delivery> {
+        self.deliveries
+            .iter()
+            .filter(move |d| d.message.source == source)
+    }
+
+    /// Worst latency among messages of one source (0 when none).
+    pub fn max_latency_from(&self, source: SourceId) -> Ticks {
+        self.deliveries_from(source)
+            .map(Delivery::latency)
+            .max()
+            .unwrap_or(Ticks::ZERO)
+    }
+
+    /// Latency at quantile `q ∈ [0, 1]` (nearest-rank; 0 when nothing
+    /// delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn latency_quantile(&self, q: f64) -> Ticks {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.deliveries.is_empty() {
+            return Ticks::ZERO;
+        }
+        let mut latencies: Vec<Ticks> = self.deliveries.iter().map(Delivery::latency).collect();
+        latencies.sort_unstable();
+        let rank = ((q * latencies.len() as f64).ceil() as usize)
+            .clamp(1, latencies.len());
+        latencies[rank - 1]
+    }
+
+    /// Median, 95th and 99th percentile latencies, for tail reporting.
+    pub fn latency_percentiles(&self) -> (Ticks, Ticks, Ticks) {
+        (
+            self.latency_quantile(0.50),
+            self.latency_quantile(0.95),
+            self.latency_quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{ClassId, Message, MessageId};
+
+    fn delivery(id: u64, source: u32, arrival: u64, deadline: u64, done: u64) -> Delivery {
+        Delivery {
+            message: Message {
+                id: MessageId(id),
+                source: SourceId(source),
+                class: ClassId(0),
+                bits: 100,
+                arrival: Ticks(arrival),
+                deadline: Ticks(deadline),
+            },
+            completed_at: Ticks(done),
+        }
+    }
+
+    fn stats() -> ChannelStats {
+        ChannelStats {
+            silence_slots: 3,
+            collisions: 2,
+            busy_ticks: Ticks(500),
+            total_ticks: Ticks(1000),
+            deliveries: vec![
+                delivery(0, 0, 0, 100, 90),    // met, latency 90
+                delivery(1, 1, 10, 100, 150),  // missed by 40, latency 140
+                delivery(2, 0, 50, 500, 200),  // met, latency 150
+            ],
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_total() {
+        assert!((stats().utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(ChannelStats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn miss_accounting() {
+        let s = stats();
+        assert_eq!(s.deadline_misses(), 1);
+        assert!((s.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.max_lateness(), Ticks(40));
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let s = stats();
+        assert_eq!(s.max_latency(), Ticks(150));
+        assert!((s.mean_latency() - (90.0 + 140.0 + 150.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_source_filters() {
+        let s = stats();
+        assert_eq!(s.deliveries_from(SourceId(0)).count(), 2);
+        assert_eq!(s.max_latency_from(SourceId(1)), Ticks(140));
+        assert_eq!(s.max_latency_from(SourceId(9)), Ticks::ZERO);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let s = stats();
+        // Sorted latencies: 90, 140, 150.
+        assert_eq!(s.latency_quantile(0.0), Ticks(90));
+        assert_eq!(s.latency_quantile(0.34), Ticks(140));
+        assert_eq!(s.latency_quantile(0.5), Ticks(140));
+        assert_eq!(s.latency_quantile(1.0), Ticks(150));
+        let (p50, p95, p99) = s.latency_percentiles();
+        assert_eq!((p50, p95, p99), (Ticks(140), Ticks(150), Ticks(150)));
+        assert_eq!(ChannelStats::default().latency_quantile(0.5), Ticks::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_range_checked() {
+        stats().latency_quantile(1.5);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = ChannelStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.max_latency(), Ticks::ZERO);
+        assert_eq!(s.mean_latency(), 0.0);
+    }
+}

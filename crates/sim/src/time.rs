@@ -1,0 +1,177 @@
+//! Simulation time in **ticks** (bit-times).
+//!
+//! All of the paper's quantities reduce cleanly to bit-times once the
+//! nominal throughput `ψ` is normalised to 1 bit per tick: a frame of `l'`
+//! bits occupies exactly `l'` ticks of channel time, and the slot time `x`
+//! (the collision-detection window) is a configurable number of ticks —
+//! e.g. 512 bit-times for classical Ethernet, 4096 for half-duplex Gigabit
+//! Ethernet with carrier extension, 1–4 for a bus internal to an ATM switch.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in simulated time, or a duration, measured in bit-times.
+///
+/// With the throughput normalised to `ψ = 1 bit/tick`, physical durations
+/// from the paper translate directly: transmitting an `l'`-bit Ph-PDU takes
+/// `Ticks(l')`, and a slot time `x` is `Ticks(x)`.
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_sim::Ticks;
+///
+/// let slot = Ticks(512);
+/// let now = Ticks(10_000);
+/// assert_eq!(now + slot * 3, Ticks(11_536));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ticks(pub u64);
+
+impl Ticks {
+    /// Zero ticks (the simulation epoch).
+    pub const ZERO: Ticks = Ticks(0);
+
+    /// The raw tick count.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `max(self − rhs, 0)`.
+    pub fn saturating_sub(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Ticks) -> Option<Ticks> {
+        self.0.checked_add(rhs.0).map(Ticks)
+    }
+
+    /// Number of whole slots of `slot` ticks needed to cover this duration
+    /// (`⌈self / slot⌉`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is zero.
+    pub fn div_ceil_slots(self, slot: Ticks) -> u64 {
+        assert!(slot.0 > 0, "slot time must be positive");
+        self.0.div_ceil(slot.0)
+    }
+}
+
+impl fmt::Display for Ticks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for Ticks {
+    fn from(v: u64) -> Self {
+        Ticks(v)
+    }
+}
+
+impl Add for Ticks {
+    type Output = Ticks;
+    fn add(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ticks {
+    fn add_assign(&mut self, rhs: Ticks) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ticks {
+    type Output = Ticks;
+    fn sub(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ticks {
+    fn sub_assign(&mut self, rhs: Ticks) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ticks {
+    type Output = Ticks;
+    fn mul(self, rhs: u64) -> Ticks {
+        Ticks(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ticks {
+    type Output = Ticks;
+    fn div(self, rhs: u64) -> Ticks {
+        Ticks(self.0 / rhs)
+    }
+}
+
+impl Rem<Ticks> for Ticks {
+    type Output = Ticks;
+    fn rem(self, rhs: Ticks) -> Ticks {
+        Ticks(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Ticks {
+    fn sum<I: Iterator<Item = Ticks>>(iter: I) -> Ticks {
+        Ticks(iter.map(|t| t.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Ticks(100);
+        let b = Ticks(40);
+        assert_eq!(a + b, Ticks(140));
+        assert_eq!(a - b, Ticks(60));
+        assert_eq!(a * 2, Ticks(200));
+        assert_eq!(a / 3, Ticks(33));
+        assert_eq!(a % Ticks(30), Ticks(10));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Ticks(5).saturating_sub(Ticks(9)), Ticks::ZERO);
+        assert_eq!(Ticks(9).saturating_sub(Ticks(5)), Ticks(4));
+    }
+
+    #[test]
+    fn div_ceil_slots_rounds_up() {
+        assert_eq!(Ticks(1024).div_ceil_slots(Ticks(512)), 2);
+        assert_eq!(Ticks(1025).div_ceil_slots(Ticks(512)), 3);
+        assert_eq!(Ticks(0).div_ceil_slots(Ticks(512)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot time must be positive")]
+    fn div_ceil_rejects_zero_slot() {
+        Ticks(1).div_ceil_slots(Ticks(0));
+    }
+
+    #[test]
+    fn display_and_sum() {
+        assert_eq!(Ticks(7).to_string(), "7t");
+        let total: Ticks = [Ticks(1), Ticks(2), Ticks(3)].into_iter().sum();
+        assert_eq!(total, Ticks(6));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ticks(2) < Ticks(10));
+        assert_eq!(Ticks::ZERO, Ticks::default());
+    }
+}

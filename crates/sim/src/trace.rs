@@ -1,0 +1,196 @@
+//! Channel event traces, for debugging and for determinism tests.
+
+use crate::message::MessageId;
+use crate::time::Ticks;
+use serde::{Deserialize, Serialize};
+
+/// One channel-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A silent decision slot.
+    Silence {
+        /// Slot start time.
+        at: Ticks,
+    },
+    /// A collision; `survivor` is set in arbitrating (non-destructive)
+    /// media.
+    Collision {
+        /// Slot start time.
+        at: Ticks,
+        /// Winning message under arbitration, if any.
+        survivor: Option<MessageId>,
+    },
+    /// Start of a successful transmission.
+    TxStart {
+        /// Transmission start time.
+        at: Ticks,
+        /// Message on the wire.
+        message: MessageId,
+    },
+    /// End of a successful transmission.
+    TxEnd {
+        /// Time the last bit left the wire.
+        at: Ticks,
+        /// Message that completed.
+        message: MessageId,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp of the event.
+    pub fn at(&self) -> Ticks {
+        match *self {
+            TraceEvent::Silence { at }
+            | TraceEvent::Collision { at, .. }
+            | TraceEvent::TxStart { at, .. }
+            | TraceEvent::TxEnd { at, .. } => at,
+        }
+    }
+}
+
+/// A bounded in-memory channel trace.
+///
+/// Disabled by default (zero overhead); enable with [`Trace::enabled`] or
+/// bound memory with [`Trace::with_capacity`], which keeps only the most
+/// recent events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    capacity: Option<usize>,
+}
+
+impl Trace {
+    /// An enabled, unbounded trace.
+    pub fn enabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+            capacity: None,
+        }
+    }
+
+    /// An enabled trace retaining at most `capacity` most-recent events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap && cap > 0 {
+                self.events.remove(0);
+            } else if cap == 0 {
+                return;
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drops all recorded events, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Renders the trace as a one-character-per-event channel timeline:
+    /// `.` silence, `X` collision, `A` arbitrated collision (survivor went
+    /// through), `#` a successful transmission (start through end). Useful
+    /// for eyeballing protocol behaviour in test failures and docs.
+    pub fn render_timeline(&self) -> String {
+        let mut out = String::with_capacity(self.events.len());
+        for event in &self.events {
+            match event {
+                TraceEvent::Silence { .. } => out.push('.'),
+                TraceEvent::Collision { survivor: None, .. } => out.push('X'),
+                TraceEvent::Collision { survivor: Some(_), .. } => out.push('A'),
+                TraceEvent::TxStart { .. } => out.push('#'),
+                TraceEvent::TxEnd { .. } => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        t.record(TraceEvent::Silence { at: Ticks(1) });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(TraceEvent::Silence { at: Ticks(1) });
+        t.record(TraceEvent::Collision {
+            at: Ticks(2),
+            survivor: None,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].at(), Ticks(1));
+        assert_eq!(t.events()[1].at(), Ticks(2));
+    }
+
+    #[test]
+    fn capacity_keeps_most_recent() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(TraceEvent::Silence { at: Ticks(i) });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].at(), Ticks(3));
+        assert_eq!(t.events()[1].at(), Ticks(4));
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Trace::with_capacity(0);
+        t.record(TraceEvent::Silence { at: Ticks(0) });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn timeline_renders_channel_history() {
+        let mut t = Trace::enabled();
+        t.record(TraceEvent::Silence { at: Ticks(0) });
+        t.record(TraceEvent::Collision { at: Ticks(512), survivor: None });
+        t.record(TraceEvent::TxStart { at: Ticks(1024), message: MessageId(1) });
+        t.record(TraceEvent::TxEnd { at: Ticks(2000), message: MessageId(1) });
+        t.record(TraceEvent::Collision {
+            at: Ticks(2000),
+            survivor: Some(MessageId(2)),
+        });
+        assert_eq!(t.render_timeline(), ".X#A");
+    }
+
+    #[test]
+    fn clear_retains_enablement() {
+        let mut t = Trace::enabled();
+        t.record(TraceEvent::Silence { at: Ticks(0) });
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+}

@@ -1,0 +1,235 @@
+//! Message classes, density bounds and the HRTDM message-set model
+//! (`<m.HRTDM>`, §2.2 of the paper).
+
+use crate::error::TrafficError;
+use ddcr_sim::{ClassId, SourceId, Ticks};
+use serde::{Deserialize, Serialize};
+
+/// The unimodal arbitrary arrival bound `a(msg)/w(msg)`: at most `a`
+/// arrivals of the class in **any** sliding window of `w` ticks.
+///
+/// This adversary is strictly stronger than periodic or Poisson arrival
+/// models: it allows arbitrary burst placement subject only to the density
+/// cap, which is exactly what the feasibility conditions of §4.3 are proved
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DensityBound {
+    /// Maximum number of arrivals in any window.
+    pub a: u64,
+    /// Sliding window length in ticks.
+    pub w: Ticks,
+}
+
+impl DensityBound {
+    /// Creates a bound, validating `a ≥ 1` and `w > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::InvalidDensity`] on degenerate parameters.
+    pub fn new(a: u64, w: Ticks) -> Result<Self, TrafficError> {
+        if a == 0 || w == Ticks::ZERO {
+            return Err(TrafficError::InvalidDensity { a, w });
+        }
+        Ok(DensityBound { a, w })
+    }
+
+    /// Long-run arrival rate implied by the bound, in arrivals per tick.
+    pub fn rate(&self) -> f64 {
+        self.a as f64 / self.w.as_u64() as f64
+    }
+}
+
+/// One message class of the set `MSG`: every instance shares the bit length
+/// `l`, the relative deadline `d` and the density bound `a/w`, and the class
+/// is mapped onto exactly one source (the partition of `MSG` into the
+/// `MSG_k`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageClass {
+    /// Class identifier (index into the message set).
+    pub id: ClassId,
+    /// Human-readable label (e.g. `"video-frame"`).
+    pub name: String,
+    /// The source the class is mapped onto.
+    pub source: SourceId,
+    /// Data-Link PDU bit length `l(msg)`.
+    pub bits: u64,
+    /// Relative hard deadline `d(msg)`.
+    pub deadline: Ticks,
+    /// Arrival density bound `a(msg)/w(msg)`.
+    pub density: DensityBound,
+}
+
+impl MessageClass {
+    /// Long-run offered load of this class in bits per tick (= fraction of
+    /// a 1 bit/tick channel), before physical overhead.
+    pub fn offered_load(&self) -> f64 {
+        self.bits as f64 * self.density.rate()
+    }
+}
+
+/// A complete HRTDM message set: the classes of `MSG`, partitioned over `z`
+/// sources.
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_sim::{ClassId, SourceId, Ticks};
+/// use ddcr_traffic::{DensityBound, MessageClass, MessageSet};
+///
+/// # fn main() -> Result<(), ddcr_traffic::TrafficError> {
+/// let set = MessageSet::new(2, vec![MessageClass {
+///     id: ClassId(0),
+///     name: "telemetry".into(),
+///     source: SourceId(0),
+///     bits: 8_000,
+///     deadline: Ticks(1_000_000),
+///     density: DensityBound::new(2, Ticks(500_000))?,
+/// }])?;
+/// assert_eq!(set.sources(), 2);
+/// assert_eq!(set.classes().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageSet {
+    sources: u32,
+    classes: Vec<MessageClass>,
+}
+
+impl MessageSet {
+    /// Builds a message set over `sources` stations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::SourceOutOfRange`] if a class maps to a
+    /// source `≥ sources`, [`TrafficError::DuplicateClass`] on repeated
+    /// class ids, and [`TrafficError::EmptyClass`] on zero-bit messages.
+    pub fn new(sources: u32, classes: Vec<MessageClass>) -> Result<Self, TrafficError> {
+        let mut seen = std::collections::HashSet::new();
+        for class in &classes {
+            if class.source.0 >= sources {
+                return Err(TrafficError::SourceOutOfRange {
+                    class: class.id,
+                    source: class.source,
+                    sources,
+                });
+            }
+            if !seen.insert(class.id) {
+                return Err(TrafficError::DuplicateClass { class: class.id });
+            }
+            if class.bits == 0 {
+                return Err(TrafficError::EmptyClass { class: class.id });
+            }
+        }
+        Ok(MessageSet { sources, classes })
+    }
+
+    /// Number of sources `z`.
+    pub fn sources(&self) -> u32 {
+        self.sources
+    }
+
+    /// All classes of `MSG`.
+    pub fn classes(&self) -> &[MessageClass] {
+        &self.classes
+    }
+
+    /// The subset `MSG_i` mapped onto one source.
+    pub fn classes_of(&self, source: SourceId) -> impl Iterator<Item = &MessageClass> {
+        self.classes.iter().filter(move |c| c.source == source)
+    }
+
+    /// A class by id.
+    pub fn class(&self, id: ClassId) -> Option<&MessageClass> {
+        self.classes.iter().find(|c| c.id == id)
+    }
+
+    /// Total long-run offered load in bits per tick (fraction of channel
+    /// capacity at 1 bit/tick), before physical overhead.
+    pub fn offered_load(&self) -> f64 {
+        self.classes.iter().map(MessageClass::offered_load).sum()
+    }
+
+    /// Scales every class's density window by `1/factor` (i.e. multiplies
+    /// the arrival rate by `factor`), returning a new set. Useful for load
+    /// sweeps in experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrafficError::InvalidDensity`] if the scaled window
+    /// underflows to zero.
+    pub fn scaled_rate(&self, factor: f64) -> Result<MessageSet, TrafficError> {
+        let mut classes = self.classes.clone();
+        for class in &mut classes {
+            let w = (class.density.w.as_u64() as f64 / factor).round() as u64;
+            class.density = DensityBound::new(class.density.a, Ticks(w))?;
+        }
+        MessageSet::new(self.sources, classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(id: u32, source: u32) -> MessageClass {
+        MessageClass {
+            id: ClassId(id),
+            name: format!("c{id}"),
+            source: SourceId(source),
+            bits: 1000,
+            deadline: Ticks(100_000),
+            density: DensityBound::new(1, Ticks(50_000)).unwrap(),
+        }
+    }
+
+    #[test]
+    fn density_bound_validation() {
+        assert!(DensityBound::new(0, Ticks(10)).is_err());
+        assert!(DensityBound::new(1, Ticks::ZERO).is_err());
+        let b = DensityBound::new(4, Ticks(1000)).unwrap();
+        assert!((b.rate() - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_validation() {
+        assert!(MessageSet::new(2, vec![class(0, 0), class(1, 1)]).is_ok());
+        assert!(matches!(
+            MessageSet::new(1, vec![class(0, 1)]),
+            Err(TrafficError::SourceOutOfRange { .. })
+        ));
+        assert!(matches!(
+            MessageSet::new(2, vec![class(0, 0), class(0, 1)]),
+            Err(TrafficError::DuplicateClass { .. })
+        ));
+        let mut empty = class(0, 0);
+        empty.bits = 0;
+        assert!(matches!(
+            MessageSet::new(1, vec![empty]),
+            Err(TrafficError::EmptyClass { .. })
+        ));
+    }
+
+    #[test]
+    fn partition_by_source() {
+        let set = MessageSet::new(2, vec![class(0, 0), class(1, 1), class(2, 0)]).unwrap();
+        assert_eq!(set.classes_of(SourceId(0)).count(), 2);
+        assert_eq!(set.classes_of(SourceId(1)).count(), 1);
+        assert!(set.class(ClassId(2)).is_some());
+        assert!(set.class(ClassId(9)).is_none());
+    }
+
+    #[test]
+    fn offered_load_sums_classes() {
+        let set = MessageSet::new(2, vec![class(0, 0), class(1, 1)]).unwrap();
+        // Each class: 1000 bits / 50_000 ticks = 0.02
+        assert!((set.offered_load() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_rate_multiplies_load() {
+        let set = MessageSet::new(1, vec![class(0, 0)]).unwrap();
+        let doubled = set.scaled_rate(2.0).unwrap();
+        assert!((doubled.offered_load() - 2.0 * set.offered_load()).abs() < 1e-9);
+    }
+}

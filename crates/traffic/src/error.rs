@@ -1,0 +1,109 @@
+//! Error type for workload construction and validation.
+
+use ddcr_sim::{ClassId, SourceId, Ticks};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by workload builders and validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrafficError {
+    /// A density bound with `a = 0` or `w = 0` is meaningless.
+    InvalidDensity {
+        /// Offending arrival count.
+        a: u64,
+        /// Offending window.
+        w: Ticks,
+    },
+    /// A class maps onto a source index outside the set.
+    SourceOutOfRange {
+        /// Offending class.
+        class: ClassId,
+        /// Its declared source.
+        source: SourceId,
+        /// Number of sources in the set.
+        sources: u32,
+    },
+    /// Two classes share an id.
+    DuplicateClass {
+        /// The repeated id.
+        class: ClassId,
+    },
+    /// A class with zero-length messages.
+    EmptyClass {
+        /// The offending class.
+        class: ClassId,
+    },
+    /// A generated trace violates its declared density bound.
+    DensityViolation {
+        /// The offending class.
+        class: ClassId,
+        /// Start of the violating window.
+        window_start: Ticks,
+        /// Arrivals observed in the window.
+        observed: u64,
+        /// The declared cap.
+        allowed: u64,
+    },
+    /// A process parameter is out of range (e.g. zero period).
+    InvalidProcess(String),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::InvalidDensity { a, w } => {
+                write!(f, "invalid density bound: a={a}, w={w}")
+            }
+            TrafficError::SourceOutOfRange {
+                class,
+                source,
+                sources,
+            } => write!(
+                f,
+                "class {class} maps to {source} but the set has {sources} sources"
+            ),
+            TrafficError::DuplicateClass { class } => {
+                write!(f, "duplicate class id {class}")
+            }
+            TrafficError::EmptyClass { class } => {
+                write!(f, "class {class} has zero-length messages")
+            }
+            TrafficError::DensityViolation {
+                class,
+                window_start,
+                observed,
+                allowed,
+            } => write!(
+                f,
+                "class {class}: {observed} arrivals in window starting {window_start}, bound is {allowed}"
+            ),
+            TrafficError::InvalidProcess(msg) => write!(f, "invalid arrival process: {msg}"),
+        }
+    }
+}
+
+impl Error for TrafficError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TrafficError::DensityViolation {
+            class: ClassId(3),
+            window_start: Ticks(100),
+            observed: 5,
+            allowed: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("c3") && s.contains('5') && s.contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrafficError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! # ddcr-traffic — HRTDM workload models
+//!
+//! Message sets and arrival processes for the Hard Real-Time Distributed
+//! Multiaccess problem (§2.2 of Hermant & Le Lann, ICDCS 1998).
+//!
+//! The HRTDM arrival model is **unimodal arbitrary**: each message class
+//! promises only a density bound — at most `a` arrivals in any sliding
+//! window of `w` ticks. This crate provides:
+//!
+//! * [`MessageSet`] / [`MessageClass`] / [`DensityBound`] — the `<m.HRTDM>`
+//!   models: message classes with bit lengths, relative deadlines and
+//!   density bounds, partitioned over `z` sources;
+//! * [`arrival`] — arrival processes: the adversarial [`arrival::PeakLoad`]
+//!   pattern the feasibility conditions assume, plus periodic (with
+//!   jitter), density-respecting random, and Poisson generators;
+//! * [`ScheduleBuilder`] — turns a set plus processes into a concrete,
+//!   id-allocated [`ddcr_sim::Message`] schedule;
+//! * [`validate`] — sliding-window checking that a trace really respects
+//!   its declared density bounds;
+//! * [`scenario`] — presets for the paper's motivating applications
+//!   (videoconferencing, air traffic control, stock exchange) and a
+//!   tunable synthetic scenario for load sweeps.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ddcr_sim::Ticks;
+//! use ddcr_traffic::{scenario, validate, ScheduleBuilder};
+//!
+//! # fn main() -> Result<(), ddcr_traffic::TrafficError> {
+//! let set = scenario::air_traffic_control(4)?;
+//! let schedule = ScheduleBuilder::peak_load(&set).build(Ticks(10_000_000))?;
+//! validate::check_schedule(&set, &schedule)?; // peak load is legal traffic
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+mod class;
+mod error;
+mod generator;
+pub mod scenario;
+pub mod validate;
+
+pub use class::{DensityBound, MessageClass, MessageSet};
+pub use error::TrafficError;
+pub use generator::{offered_load, ScheduleBuilder};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MessageSet>();
+        assert_send_sync::<TrafficError>();
+        assert_send_sync::<DensityBound>();
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the workload generators: the density-respecting
+//! processes never exceed their declared (a, w) bound, schedules are
+//! deterministic in their seeds, and the validator itself is sound.
+
+use ddcr_sim::{ClassId, SourceId, Ticks};
+use ddcr_traffic::arrival::{ArrivalProcess, BoundedRandom, PeakLoad, Periodic};
+use ddcr_traffic::{validate, DensityBound, MessageClass, MessageSet, ScheduleBuilder};
+use proptest::prelude::*;
+
+fn class(a: u64, w: u64, bits: u64) -> MessageClass {
+    MessageClass {
+        id: ClassId(0),
+        name: "prop".into(),
+        source: SourceId(0),
+        bits,
+        deadline: Ticks(10 * w),
+        density: DensityBound::new(a, Ticks(w)).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Peak load and zero-jitter periodic arrivals always respect the
+    /// density bound, for any (a, w).
+    #[test]
+    fn deterministic_processes_respect_bound(
+        a in 1u64..8,
+        w in 100u64..100_000,
+        horizon_mult in 1u64..6,
+    ) {
+        let c = class(a, w, 1_000);
+        let horizon = Ticks(w * horizon_mult + 1);
+        for times in [
+            PeakLoad.arrival_times(&c, horizon),
+            Periodic::new(Ticks::ZERO).arrival_times(&c, horizon),
+            Periodic::new(Ticks(w / 3)).arrival_times(&c, horizon),
+        ] {
+            prop_assert!(validate::check_density(&times, c.density).is_ok());
+            prop_assert!(times.iter().all(|&t| t < horizon));
+            prop_assert!(times.windows(2).all(|p| p[0] <= p[1]));
+        }
+    }
+
+    /// Bounded-random traffic respects the bound at every intensity and
+    /// seed.
+    #[test]
+    fn bounded_random_respects_bound(
+        a in 1u64..6,
+        w in 1_000u64..50_000,
+        intensity in 0.05f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let c = class(a, w, 1_000);
+        let process = BoundedRandom::new(intensity, seed).unwrap();
+        let times = process.arrival_times(&c, Ticks(w * 20));
+        prop_assert!(
+            validate::check_density(&times, c.density).is_ok(),
+            "violation at a={a} w={w} intensity={intensity} seed={seed}"
+        );
+    }
+
+    /// Peak load is the densest legal pattern: adding any single extra
+    /// arrival to a saturated window violates the bound (validator
+    /// soundness from the other side).
+    #[test]
+    fn peak_load_is_maximal(a in 1u64..6, w in 100u64..10_000) {
+        let c = class(a, w, 1_000);
+        let mut times = PeakLoad.arrival_times(&c, Ticks(3 * w));
+        prop_assert!(validate::check_density(&times, c.density).is_ok());
+        // Insert one more arrival inside the first window.
+        times.push(Ticks(w / 2));
+        times.sort_unstable();
+        prop_assert!(validate::check_density(&times, c.density).is_err());
+    }
+
+    /// Schedules are pure functions of (set, process, horizon): same
+    /// inputs, same output; ids dense from the starting id.
+    #[test]
+    fn schedules_are_deterministic(
+        z in 1u32..5,
+        a in 1u64..4,
+        w in 1_000u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let classes: Vec<MessageClass> = (0..z)
+            .map(|s| MessageClass {
+                id: ClassId(s),
+                name: format!("c{s}"),
+                source: SourceId(s),
+                bits: 1_000,
+                deadline: Ticks(5 * w),
+                density: DensityBound::new(a, Ticks(w)).unwrap(),
+            })
+            .collect();
+        let set = MessageSet::new(z, classes).unwrap();
+        let horizon = Ticks(w * 10);
+        let build = || {
+            ScheduleBuilder::bounded_random(&set, 0.7, seed)
+                .unwrap()
+                .build(horizon)
+                .unwrap()
+        };
+        let first = build();
+        let second = build();
+        prop_assert_eq!(&first, &second);
+        for (i, m) in first.iter().enumerate() {
+            prop_assert_eq!(m.id.0, i as u64);
+        }
+        prop_assert!(validate::check_schedule(&set, &first).is_ok());
+    }
+
+    /// The sliding-window validator agrees with a quadratic reference
+    /// implementation.
+    #[test]
+    fn validator_matches_reference(
+        times_raw in prop::collection::vec(0u64..5_000, 0..40),
+        a in 1u64..5,
+        w in 10u64..2_000,
+    ) {
+        let mut times: Vec<Ticks> = times_raw.into_iter().map(Ticks).collect();
+        times.sort_unstable();
+        let bound = DensityBound::new(a, Ticks(w)).unwrap();
+        // Reference: for every arrival as window start, count arrivals in
+        // [t, t + w).
+        let reference_ok = times.iter().all(|&start| {
+            let count = times
+                .iter()
+                .filter(|&&t| t >= start && t < start + Ticks(w))
+                .count() as u64;
+            count <= a
+        });
+        let fast_ok = validate::check_density(&times, bound).is_ok();
+        prop_assert_eq!(fast_ok, reference_ok);
+    }
+}

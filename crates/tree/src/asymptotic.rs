@@ -1,0 +1,247 @@
+//! The asymptotic upper bound `ξ̃_k^t` — Eq. (11)–(14) of the paper.
+//!
+//! The concave real-valued function
+//!
+//! ```text
+//! ξ̃_k^t = (m·k/2 − 1)/(m − 1) + (m·k/2)·log_m(2t/k) − k
+//! ```
+//!
+//! interpolates the exact `ξ_k^t` at the points `k = 2·m^i` and dominates it
+//! everywhere on `[2, 2t/m]` (Eq. 11). The paper quantifies the gap:
+//!
+//! * Eq. (12): the maximum gap over `[2, 2t/m]` is attained on `[2t/m², 2t/m]`;
+//! * Eq. (13): the gap is at most `(m^{1/(m−1)}/(e·ln m) − 1/(m−1))·t`;
+//! * Eq. (14): over all `m`, at most `(⁴√3/(2e·ln 3) − 1/8)·t ≤ 9.54 %·t`
+//!   (the coefficient of Eq. 13 is maximal at `m = 9`, where
+//!   `m^{1/(m−1)} = 3^{1/4}` and `ln 9 = 2 ln 3`).
+//!
+//! Because `ξ̃` is concave in `k`, it is the key to problem P2
+//! ([`crate::multi`]): the worst split of `u` messages over `v` trees puts
+//! `u/v` in each, and that value may be fractional — hence a real-valued
+//! bound is required, not the integer `ξ`.
+
+use crate::geometry::TreeShape;
+
+/// The asymptotic bound `ξ̃_k^t` of Eq. (11), for real `k ∈ [2, t]`.
+///
+/// The value is meaningful (and proven to dominate the exact `ξ_k^t`) on
+/// `[2, 2t/m]`; on `[2t/m, t]` use the exact linear tail
+/// [`crate::closed_form::xi_tail`] instead (Eq. 15).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > t` (debug builds assert; release clamps would
+/// silently corrupt feasibility bounds, so we always check).
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_tree::{asymptotic, TreeShape};
+///
+/// # fn main() -> Result<(), ddcr_tree::TreeError> {
+/// let shape = TreeShape::new(4, 3)?;
+/// // At k = 2·4^i the bound coincides with the exact value:
+/// assert!((asymptotic::xi_tilde(shape, 2.0) - 11.0).abs() < 1e-9);
+/// assert!((asymptotic::xi_tilde(shape, 8.0) - 29.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn xi_tilde(shape: TreeShape, k: f64) -> f64 {
+    let t = shape.leaves() as f64;
+    let m = shape.branching() as f64;
+    assert!(
+        (2.0..=t).contains(&k),
+        "xi_tilde requires k in [2, t], got k={k} for t={t}"
+    );
+    let half = m * k / 2.0;
+    (half - 1.0) / (m - 1.0) + half * (2.0 * t / k).ln() / m.ln() - k
+}
+
+/// The per-`m` tightness coefficient of Eq. (13):
+/// `c(m) = m^{1/(m−1)} / (e·ln m) − 1/(m−1)`, so that
+/// `max_{k∈[2,2t/m]} (ξ̃_k^t − ξ_k^t) ≤ c(m)·t`.
+pub fn tightness_coefficient(m: u64) -> f64 {
+    assert!(m >= 2, "tightness coefficient requires m >= 2");
+    let m = m as f64;
+    m.powf(1.0 / (m - 1.0)) / (std::f64::consts::E * m.ln()) - 1.0 / (m - 1.0)
+}
+
+/// The universal tightness constant of Eq. (14):
+/// `⁴√3 / (2e·ln 3) − 1/8 ≈ 0.09537`, i.e. the gap never exceeds
+/// `9.54 %` of `t` for any branching degree.
+pub fn universal_tightness_constant() -> f64 {
+    3f64.powf(0.25) / (2.0 * std::f64::consts::E * 3f64.ln()) - 0.125
+}
+
+/// Measured maximum gap `max_k (ξ̃_k^t − ξ_k^t)` over integer
+/// `k ∈ [2, 2t/m]`, together with the `k` achieving it.
+///
+/// Used by experiment E4 to reproduce Eq. (12)–(14) numerically.
+///
+/// # Errors
+///
+/// Propagates table-construction errors from [`crate::exact`].
+pub fn max_gap(shape: TreeShape) -> Result<GapReport, crate::TreeError> {
+    let table = crate::exact::SearchTimeTable::compute(shape)?;
+    let hi = 2 * shape.leaves() / shape.branching();
+    let mut best_gap = f64::NEG_INFINITY;
+    let mut best_even = f64::NEG_INFINITY;
+    let mut best_k = 2;
+    for k in 2..=hi {
+        let gap = xi_tilde(shape, k as f64) - table.xi(k)? as f64;
+        if gap > best_gap {
+            best_gap = gap;
+            best_k = k;
+        }
+        if k % 2 == 0 && gap > best_even {
+            best_even = gap;
+        }
+    }
+    Ok(GapReport {
+        shape,
+        max_gap: best_gap,
+        max_gap_even: best_even,
+        argmax_k: best_k,
+        relative_to_t: best_gap / shape.leaves() as f64,
+    })
+}
+
+/// Result of a tightness measurement (experiment E4).
+///
+/// Eq. (13)–(14) of the paper bound the **continuous envelope** of the gap;
+/// the exact integer curve's odd-`k` staircase (`ξ_{2p+1} = ξ_{2p} − 1`,
+/// Eq. 3) sits up to one slot below the even subsequence, so the discrete
+/// all-`k` maximum can exceed the Eq. (13) coefficient by a small additive constant (one
+/// slot plus the local slope of ξ̃, at most `1 + m`).
+/// `max_gap_even` obeys Eq. (13) exactly; `max_gap` within `+(1 + m)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapReport {
+    /// Tree shape measured.
+    pub shape: TreeShape,
+    /// Maximum of `ξ̃_k^t − ξ_k^t` over integer `k ∈ [2, 2t/m]`.
+    pub max_gap: f64,
+    /// Maximum of the gap over even `k` only (the curve Eq. 13 bounds).
+    pub max_gap_even: f64,
+    /// The `k` attaining the all-`k` maximum.
+    pub argmax_k: u64,
+    /// `max_gap / t`, to compare against Eq. (13)–(14).
+    pub relative_to_t: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::SearchTimeTable;
+
+    #[test]
+    fn coincides_with_exact_at_anchor_points() {
+        // Eq. 11 is derived at k = 2·m^i, i ∈ [0, ⌊log_m(t/2)⌋].
+        for (m, n) in [(2u64, 6u32), (4, 3), (3, 4)] {
+            let shape = TreeShape::new(m, n).unwrap();
+            let table = SearchTimeTable::compute(shape).unwrap();
+            let mut k = 2u64;
+            while k <= shape.leaves() / 2 * 2 && 2 * shape.leaves() / m >= k {
+                let tilde = xi_tilde(shape, k as f64);
+                let exact = table.xi(k).unwrap() as f64;
+                assert!(
+                    (tilde - exact).abs() < 1e-9,
+                    "m={m} n={n} k={k}: tilde={tilde} exact={exact}"
+                );
+                k *= m;
+            }
+        }
+    }
+
+    #[test]
+    fn dominates_exact_on_interval() {
+        for (m, n) in [(2u64, 6u32), (4, 3), (3, 4), (5, 2)] {
+            let shape = TreeShape::new(m, n).unwrap();
+            let table = SearchTimeTable::compute(shape).unwrap();
+            for k in 2..=(2 * shape.leaves() / m) {
+                assert!(
+                    xi_tilde(shape, k as f64) >= table.xi(k).unwrap() as f64 - 1e-9,
+                    "m={m} n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq12_argmax_in_last_decade() {
+        // The max gap is attained within [2t/m², 2t/m].
+        for (m, n) in [(2u64, 8u32), (3, 5), (4, 4)] {
+            let shape = TreeShape::new(m, n).unwrap();
+            let report = max_gap(shape).unwrap();
+            let lo = 2 * shape.leaves() / (m * m);
+            let hi = 2 * shape.leaves() / m;
+            assert!(
+                (lo..=hi).contains(&report.argmax_k),
+                "m={m} n={n} argmax={} not in [{lo}, {hi}]",
+                report.argmax_k
+            );
+        }
+    }
+
+    #[test]
+    fn eq13_per_m_bound_holds() {
+        for (m, n) in [(2u64, 8u32), (3, 5), (4, 4), (5, 3), (9, 3)] {
+            let shape = TreeShape::new(m, n).unwrap();
+            let t = shape.leaves() as f64;
+            let report = max_gap(shape).unwrap();
+            let c = tightness_coefficient(m);
+            // Even subsequence: obeys the continuous envelope exactly.
+            assert!(
+                report.max_gap_even <= c * t + 1e-9,
+                "m={m} n={n}: even gap {} > c(m)·t = {}",
+                report.max_gap_even,
+                c * t
+            );
+            // All k: the odd staircase (Eq. 3) overshoots the continuous
+            // envelope by at most 1 + the local slope of ξ̃ (≲ m).
+            let slack = 1.0 + m as f64;
+            assert!(
+                report.max_gap <= c * t + slack + 1e-9,
+                "m={m} n={n}: gap {} > c(m)·t + {slack} = {}",
+                report.max_gap,
+                c * t + slack
+            );
+        }
+    }
+
+    #[test]
+    fn eq14_universal_constant_is_9_54_percent() {
+        let c = universal_tightness_constant();
+        assert!((c - 0.0954).abs() < 5e-4, "constant = {c}");
+        // And it equals the per-m coefficient at m = 9.
+        assert!((c - tightness_coefficient(9)).abs() < 1e-12);
+        // It dominates every other branching degree's coefficient.
+        for m in 2..=64 {
+            assert!(tightness_coefficient(m) <= c + 1e-12, "m={m}");
+        }
+    }
+
+    #[test]
+    fn concavity_in_k() {
+        let shape = TreeShape::new(4, 3).unwrap();
+        let f = |k: f64| xi_tilde(shape, k);
+        let mut k = 2.5;
+        while k < 62.0 {
+            let second = f(k + 1.0) - 2.0 * f(k) + f(k - 0.5) * 0.0; // placeholder
+            let _ = second;
+            // Standard midpoint concavity check: f((a+b)/2) >= (f(a)+f(b))/2.
+            let a = k;
+            let b = k + 1.5;
+            assert!(
+                f((a + b) / 2.0) >= (f(a) + f(b)) / 2.0 - 1e-9,
+                "concavity violated at k={k}"
+            );
+            k += 0.7;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "xi_tilde requires")]
+    fn rejects_k_below_two() {
+        xi_tilde(TreeShape::new(2, 3).unwrap(), 1.5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for tree-analysis operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible constructors and queries in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// The branching degree `m` must be at least 2.
+    BranchingTooSmall {
+        /// The offending branching degree.
+        m: u64,
+    },
+    /// The leaf count `t` is not a positive power of the branching degree `m`.
+    NotAPowerOfM {
+        /// The offending leaf count.
+        t: u64,
+        /// The branching degree.
+        m: u64,
+    },
+    /// The requested leaf count would overflow the supported range.
+    Overflow {
+        /// The branching degree.
+        m: u64,
+        /// The requested height.
+        n: u32,
+    },
+    /// The number of active leaves `k` exceeds the number of leaves `t`.
+    TooManyActiveLeaves {
+        /// The offending active-leaf count.
+        k: u64,
+        /// The number of leaves.
+        t: u64,
+    },
+    /// A leaf index is outside `[0, t)`.
+    LeafOutOfRange {
+        /// The offending leaf index.
+        leaf: u64,
+        /// The number of leaves.
+        t: u64,
+    },
+    /// A multi-tree problem instance is infeasible (no valid composition of
+    /// `u` into `v` parts, each within `[2, t]`).
+    InfeasibleComposition {
+        /// Total number of active leaves.
+        u: u64,
+        /// Number of consecutive trees.
+        v: u64,
+        /// Leaves per tree.
+        t: u64,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TreeError::BranchingTooSmall { m } => {
+                write!(f, "branching degree must be at least 2, got {m}")
+            }
+            TreeError::NotAPowerOfM { t, m } => {
+                write!(f, "leaf count {t} is not a positive power of {m}")
+            }
+            TreeError::Overflow { m, n } => {
+                write!(f, "leaf count {m}^{n} overflows the supported range")
+            }
+            TreeError::TooManyActiveLeaves { k, t } => {
+                write!(f, "active leaf count {k} exceeds leaf count {t}")
+            }
+            TreeError::LeafOutOfRange { leaf, t } => {
+                write!(f, "leaf index {leaf} is outside [0, {t})")
+            }
+            TreeError::InfeasibleComposition { u, v, t } => {
+                write!(
+                    f,
+                    "cannot split {u} active leaves over {v} trees with parts in [2, {t}]"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TreeError::BranchingTooSmall { m: 1 };
+        let s = e.to_string();
+        assert!(s.contains("branching degree"));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TreeError>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", TreeError::Overflow { m: 2, n: 64 }).is_empty());
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            TreeError::BranchingTooSmall { m: 0 },
+            TreeError::NotAPowerOfM { t: 6, m: 4 },
+            TreeError::Overflow { m: 16, n: 60 },
+            TreeError::TooManyActiveLeaves { k: 9, t: 8 },
+            TreeError::LeafOutOfRange { leaf: 8, t: 8 },
+            TreeError::InfeasibleComposition { u: 3, v: 2, t: 4 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Choosing the branching degree — "optimal m is derived from the general
+//! expression of ξ_k^t" (paper, end of §4.1).
+//!
+//! For a fixed number of leaves (sources/classes) there may be several legal
+//! branching degrees (`t` must be a power of `m`). Fig. 2 compares `m = 2`
+//! against `m = 4` on 64 leaves; this module generalises the comparison:
+//! given a minimum leaf count and a set of candidate degrees, it scores each
+//! feasible `(m, n)` shape by its worst-case search times and reports the
+//! best degree per activity level `k` as well as aggregate winners.
+
+use crate::error::TreeError;
+use crate::exact::SearchTimeTable;
+use crate::geometry::TreeShape;
+
+/// Worst-case-search scores of one candidate shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeScore {
+    /// The candidate shape.
+    pub shape: TreeShape,
+    /// `max_k ξ_k^t` — the single worst activity level.
+    pub max_xi: u64,
+    /// `Σ_k ξ_k^t` over `k ∈ [2, k_max]` — an aggregate cost proxy.
+    pub sum_xi: u64,
+    /// `ξ_2^t` — the light-contention cost (drives the FC term `S_2`).
+    pub xi_two: u64,
+}
+
+/// Compares candidate branching degrees for trees with at least
+/// `min_leaves` leaves, scoring worst-case search times over
+/// `k ∈ [2, k_max]` (with `k_max` clamped to each shape's leaf count).
+///
+/// For each candidate `m`, the smallest power `m^n ≥ min_leaves` is used —
+/// that is the shape a protocol designer would deploy for `min_leaves`
+/// sources or deadline classes.
+///
+/// # Errors
+///
+/// Returns the first shape-construction or table error encountered; a
+/// candidate `m < 2` yields [`TreeError::BranchingTooSmall`].
+///
+/// # Examples
+///
+/// ```
+/// use ddcr_tree::optimal;
+///
+/// # fn main() -> Result<(), ddcr_tree::TreeError> {
+/// let scores = optimal::compare_branching_degrees(64, &[2, 4, 8], 64)?;
+/// // Paper Fig. 2: the quaternary 64-leaf tree beats the binary one.
+/// assert!(scores[1].max_xi <= scores[0].max_xi);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compare_branching_degrees(
+    min_leaves: u64,
+    candidates: &[u64],
+    k_max: u64,
+) -> Result<Vec<ShapeScore>, TreeError> {
+    let mut scores = Vec::with_capacity(candidates.len());
+    for &m in candidates {
+        if m < 2 {
+            return Err(TreeError::BranchingTooSmall { m });
+        }
+        let mut n = 1u32;
+        while TreeShape::new(m, n)?.leaves() < min_leaves {
+            n += 1;
+        }
+        let shape = TreeShape::new(m, n)?;
+        let table = SearchTimeTable::compute(shape)?;
+        let hi = k_max.min(shape.leaves());
+        let mut max_xi = 0;
+        let mut sum_xi = 0;
+        for k in 2..=hi {
+            let v = table.xi(k)?;
+            max_xi = max_xi.max(v);
+            sum_xi += v;
+        }
+        scores.push(ShapeScore {
+            shape,
+            max_xi,
+            sum_xi,
+            xi_two: table.xi(2)?,
+        });
+    }
+    Ok(scores)
+}
+
+/// Returns the candidate from `scores` minimising the single worst-case
+/// search time (`max_xi`), breaking ties by `sum_xi` then smaller `m`.
+pub fn best_by_worst_case(scores: &[ShapeScore]) -> Option<&ShapeScore> {
+    scores.iter().min_by(|a, b| {
+        a.max_xi
+            .cmp(&b.max_xi)
+            .then(a.sum_xi.cmp(&b.sum_xi))
+            .then(a.shape.branching().cmp(&b.shape.branching()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_quaternary_beats_binary_on_64_leaves() {
+        let scores = compare_branching_degrees(64, &[2, 4], 64).unwrap();
+        let bin = &scores[0];
+        let quad = &scores[1];
+        assert_eq!(bin.shape.leaves(), 64);
+        assert_eq!(quad.shape.leaves(), 64);
+        assert!(quad.max_xi <= bin.max_xi);
+        assert!(quad.sum_xi <= bin.sum_xi);
+    }
+
+    #[test]
+    fn rounds_leaf_count_up_to_next_power() {
+        let scores = compare_branching_degrees(50, &[2, 3, 4], 50).unwrap();
+        assert_eq!(scores[0].shape.leaves(), 64); // 2^6
+        assert_eq!(scores[1].shape.leaves(), 81); // 3^4
+        assert_eq!(scores[2].shape.leaves(), 64); // 4^3
+    }
+
+    #[test]
+    fn best_by_worst_case_picks_minimum() {
+        let scores = compare_branching_degrees(64, &[2, 4, 8], 64).unwrap();
+        let best = best_by_worst_case(&scores).unwrap();
+        for s in &scores {
+            assert!(best.max_xi <= s.max_xi);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_branching() {
+        assert_eq!(
+            compare_branching_degrees(8, &[1], 8),
+            Err(TreeError::BranchingTooSmall { m: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_candidates_empty_scores() {
+        let scores = compare_branching_degrees(8, &[], 8).unwrap();
+        assert!(scores.is_empty());
+        assert!(best_by_worst_case(&scores).is_none());
+    }
+
+    #[test]
+    fn xi_two_matches_eq5() {
+        let scores = compare_branching_degrees(64, &[2, 4], 64).unwrap();
+        assert_eq!(scores[0].xi_two, 11); // 2·6 − 1
+        assert_eq!(scores[1].xi_two, 11); // 4·3 − 1
+    }
+}

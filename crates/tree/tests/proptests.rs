@@ -1,0 +1,134 @@
+//! Property-based cross-validation of all ξ implementations.
+
+use ddcr_tree::{asymptotic, closed_form, divide, multi, search, SearchTimeTable, TreeShape};
+use proptest::prelude::*;
+
+/// Strategy over modest tree shapes (t ≤ 4096) plus a valid k.
+fn shape_and_k() -> impl Strategy<Value = (u64, u32, u64)> {
+    (2u64..=6, 1u32..=5)
+        .prop_filter("t fits", |(m, n)| m.pow(*n) <= 4096)
+        .prop_flat_map(|(m, n)| {
+            let t = m.pow(n);
+            (Just(m), Just(n), 0..=t)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// DP (Eq. 1), divide-and-conquer (Eq. 2–4) and closed form (Eq. 9–10)
+    /// all agree, for every shape and activity level.
+    #[test]
+    fn three_routes_agree((m, n, k) in shape_and_k()) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let table = SearchTimeTable::compute(shape).unwrap();
+        let dp = table.xi(k).unwrap();
+        prop_assert_eq!(divide::xi_divide(shape, k).unwrap(), dp);
+        prop_assert_eq!(closed_form::xi_closed(shape, k).unwrap(), dp);
+    }
+
+    /// Eq. 3: odd values sit exactly one below the preceding even value.
+    #[test]
+    fn odd_even_staircase((m, n, k) in shape_and_k()) {
+        prop_assume!(k >= 3 && k % 2 == 1);
+        let shape = TreeShape::new(m, n).unwrap();
+        let even = closed_form::xi_closed(shape, k - 1).unwrap();
+        let odd = closed_form::xi_closed(shape, k).unwrap();
+        prop_assert_eq!(odd, even - 1);
+    }
+
+    /// The asymptotic bound dominates the exact value on [2, 2t/m].
+    #[test]
+    fn asymptotic_dominates((m, n, k) in shape_and_k()) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let t = shape.leaves();
+        prop_assume!(k >= 2 && k <= 2 * t / m);
+        let exact = closed_form::xi_closed(shape, k).unwrap() as f64;
+        let tilde = asymptotic::xi_tilde(shape, k as f64);
+        prop_assert!(tilde >= exact - 1e-9, "tilde={tilde} exact={exact}");
+        // And stays within the Eq. 13 envelope, allowing the odd-k
+        // staircase of Eq. 3 (which the continuous envelope does not see)
+        // to overshoot by 1 + the local slope of ξ̃ (≲ m).
+        let c = asymptotic::tightness_coefficient(m);
+        prop_assert!(tilde - exact <= c * t as f64 + 1.0 + m as f64 + 1e-9);
+    }
+
+    /// Replayed searches over arbitrary leaf subsets never exceed ξ_k^t, and
+    /// transmit exactly the active leaves in left-to-right order.
+    #[test]
+    fn replayed_search_within_bound(
+        (m, n) in (2u64..=4, 1u32..=3),
+        seed in any::<u64>(),
+    ) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let t = shape.leaves();
+        // Derive a pseudo-random subset from the seed.
+        let mut leaves: Vec<u64> = (0..t).filter(|i| (seed >> (i % 63)) & 1 == 1).collect();
+        if leaves.len() as u64 > t { leaves.truncate(t as usize); }
+        let out = search::search_active_leaves(shape, &leaves).unwrap();
+        let k = leaves.len() as u64;
+        let bound = closed_form::xi_closed(shape, k).unwrap();
+        prop_assert!(out.search_slots() <= bound,
+            "subset {:?}: {} > ξ={bound}", leaves, out.search_slots());
+        let mut expect = leaves.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(out.transmissions, expect);
+    }
+
+    /// Exhaustive worst case equals ξ_k^t on small trees (achievability of
+    /// the Eq. 1 bound).
+    #[test]
+    fn exhaustive_achieves_xi(
+        (m, n) in prop_oneof![Just((2u64, 3u32)), Just((3, 2)), Just((2, 4)), Just((4, 2))],
+        frac in 0.0f64..=1.0,
+    ) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let t = shape.leaves();
+        let k = ((t as f64) * frac).round() as u64;
+        let (worst, _) = search::worst_case_exhaustive(shape, k).unwrap();
+        prop_assert_eq!(worst, closed_form::xi_closed(shape, k).unwrap());
+    }
+
+    /// P2: the asymptotic bound dominates the exact DP optimum, and the two
+    /// closed forms of Eq. 18 agree.
+    #[test]
+    fn multi_tree_bound_dominates(
+        (m, n) in prop_oneof![Just((2u64, 3u32)), Just((2, 4)), Just((3, 2)), Just((4, 2))],
+        v in 1u64..=5,
+        slack in 0u64..40,
+    ) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let t = shape.leaves();
+        let u = (2 * v + slack).min(t * v);
+        let p = multi::MultiTreeProblem::new(shape, u, v).unwrap();
+        let exact = p.exact_optimum().unwrap();
+        prop_assert!(p.bound() + 1e-9 >= exact.total as f64);
+        let a = p.bound();
+        let b = p.bound_big_tree_form();
+        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+    }
+
+    /// Monotone structure: ξ is 1 at k=0, 0 at k=1, and for k ≥ 2 the even
+    /// subsequence is unimodal with peak at k = 2t/m (Eq. 6).
+    #[test]
+    fn even_subsequence_unimodal((m, n) in (2u64..=5, 1u32..=4)) {
+        prop_assume!(m.pow(n) <= 1024);
+        let shape = TreeShape::new(m, n).unwrap();
+        let table = SearchTimeTable::compute(shape).unwrap();
+        let t = shape.leaves();
+        let peak = closed_form::peak_k(shape);
+        let mut prev = table.xi(2).unwrap();
+        let mut k = 4;
+        while k <= t {
+            let cur = table.xi(k).unwrap();
+            if k <= peak {
+                prop_assert!(cur >= prev, "rising phase violated at k={k}");
+            } else {
+                prop_assert!(cur <= prev, "falling phase violated at k={k}");
+            }
+            prev = cur;
+            k += 2;
+        }
+        prop_assert_eq!(table.xi(peak).unwrap(), closed_form::xi_peak(shape));
+    }
+}

@@ -1,0 +1,62 @@
+//! CSMA/DDCR inside an ATM switch fabric — the §3.2/§5 variant.
+//!
+//! Busses internal to ATM nodes have slot times of a few bit times and can
+//! implement exclusive-OR logic, making collisions non-destructive
+//! (bit-level arbitration). The same protocol code runs on both media;
+//! this example carries 48-byte ATM cells with cell-scale deadlines across
+//! the fabric and compares the destructive and arbitrating variants.
+//!
+//! ```text
+//! cargo run -p ddcr-examples --example atm_fabric
+//! ```
+
+use ddcr_core::{feasibility, network, DdcrConfig, StaticAllocation};
+use ddcr_examples::{print_feasibility, print_run};
+use ddcr_sim::{CollisionMode, MediumConfig, Ticks};
+use ddcr_traffic::{scenario, ScheduleBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ports = 16u32;
+    // 48-byte cell payloads, 20 µs cell deadlines, half the fabric loaded.
+    let set = scenario::uniform(ports, 48 * 8, Ticks(20_000), 0.5)?;
+    let arbitrating = MediumConfig::atm_internal_bus();
+    let destructive = MediumConfig {
+        collision_mode: CollisionMode::Destructive,
+        ..arbitrating
+    };
+    println!(
+        "ATM fabric: {ports} ports, 48-byte cells, 20 us deadlines, slot = {} bit times",
+        arbitrating.slot_ticks
+    );
+
+    // Cell-scale deadline classes: c = one slot batch of cells.
+    let c = network::recommended_class_width(&set, 64, &arbitrating);
+    let config = DdcrConfig::for_sources(ports, c)?;
+    let allocation = StaticAllocation::one_per_source(config.static_tree, ports)?;
+    let report = feasibility::evaluate(&set, &config, &allocation, &arbitrating)?;
+    println!();
+    print_feasibility(&report);
+
+    let schedule = ScheduleBuilder::peak_load(&set).build(Ticks(500_000))?;
+    println!("\npeak load, {} cells:", schedule.len());
+    for (label, medium) in [
+        ("atm arbitrating (XOR bus)", arbitrating),
+        ("atm destructive", destructive),
+    ] {
+        let stats = network::run(
+            &set,
+            schedule.clone(),
+            &config,
+            &allocation,
+            medium,
+            network::RunLimit::Completion(Ticks(1_000_000_000)),
+        )?;
+        print_run(label, &stats);
+        assert_eq!(stats.deadline_misses(), 0, "{label} missed a cell deadline");
+    }
+    println!(
+        "\nsame protocol, same analysis — only the slot time and collision semantics \
+         change, which is the paper's §5 applicability argument."
+    );
+    Ok(())
+}

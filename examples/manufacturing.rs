@@ -1,0 +1,72 @@
+//! Discrete-manufacturing cell control — the domain CSMA/DCR (this
+//! protocol's industrial ancestor, §5) actually shipped in: Dassault
+//! Electronique and APTOR deployed dual-bus Ethernets for manufacturing
+//! and for the Ariane launchpad LAN at Kourou.
+//!
+//! Sensor scans, actuator commands and PLC uploads share one bus; the
+//! example proves the 2 ms actuation deadline, runs the peak-load drill,
+//! prints latency percentiles and renders the channel timeline so you can
+//! *see* the deterministic resolution at work.
+//!
+//! ```text
+//! cargo run -p ddcr-examples --example manufacturing
+//! ```
+
+use ddcr_core::{feasibility, network, DdcrConfig, StaticAllocation};
+use ddcr_examples::print_run;
+use ddcr_sim::{MediumConfig, Ticks, Trace};
+use ddcr_traffic::{scenario, ScheduleBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let z = 8u32;
+    let set = scenario::manufacturing_cell(z)?;
+    let medium = MediumConfig::ethernet();
+    let c = network::recommended_class_width(&set, 64, &medium);
+    let config = DdcrConfig::for_sources(z, c)?;
+    let allocation = StaticAllocation::one_per_source(config.static_tree, z)?;
+    println!(
+        "manufacturing cell: {z} controllers, load {:.4}, actuation deadline 2 ms",
+        set.offered_load()
+    );
+
+    let report = feasibility::evaluate(&set, &config, &allocation, &medium)?;
+    let tightest = report.tightest().expect("classes");
+    println!(
+        "feasibility: {} (binding class {} — bound {:.0} of {} ticks, {:.0}% transmission / {:.0}% search)",
+        if report.feasible() { "PROVEN" } else { "REJECTED" },
+        tightest.class,
+        tightest.bound,
+        tightest.deadline.as_u64(),
+        100.0 * tightest.transmission_fraction(),
+        100.0 * (1.0 - tightest.transmission_fraction()),
+    );
+    assert!(report.feasible());
+
+    // Peak-load drill with a traced channel.
+    let mut engine = network::build_engine(&set, &config, &allocation, medium)?;
+    engine.set_trace(Trace::with_capacity(120));
+    let schedule = ScheduleBuilder::peak_load(&set).build(Ticks(20_000_000))?;
+    let n = schedule.len();
+    engine.add_arrivals(schedule)?;
+    engine.run_to_completion(Ticks(10_000_000_000))?;
+    let timeline = engine.trace().render_timeline();
+    let stats = engine.into_stats();
+    println!("\npeak-load drill ({n} messages):");
+    print_run("manufacturing cell", &stats);
+    let (p50, p95, p99) = stats.latency_percentiles();
+    println!(
+        "latency percentiles: p50 = {} us, p95 = {} us, p99 = {} us",
+        p50.as_u64() / 1000,
+        p95.as_u64() / 1000,
+        p99.as_u64() / 1000
+    );
+    assert_eq!(stats.deadline_misses(), 0);
+
+    println!("\nlast channel events (.=silence, X=collision, #=transmission):");
+    println!("  {timeline}");
+    println!(
+        "\nthe deterministic pattern — a collision burst, then a clean run of \
+         transmissions — is the tree search resolving a peak burst in bounded time."
+    );
+    Ok(())
+}

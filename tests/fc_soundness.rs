@@ -1,0 +1,129 @@
+//! Property-based soundness of the feasibility conditions (§4.3): for
+//! randomly drawn HRTDM instances, whenever the analytic check accepts, the
+//! adversarial peak-load simulation exhibits **zero** deadline misses and
+//! stays below `B_DDCR` — the paper's central correctness claim.
+
+use ddcr_core::{feasibility, network, DdcrConfig, StaticAllocation};
+use ddcr_sim::{ClassId, MediumConfig, SourceId, Ticks};
+use ddcr_traffic::{DensityBound, MessageClass, MessageSet, ScheduleBuilder};
+use proptest::prelude::*;
+
+/// A random but well-formed HRTDM instance: z sources, one or two classes
+/// each, parameters drawn from ranges wide enough to straddle the
+/// feasibility frontier.
+fn instance_strategy() -> impl Strategy<Value = MessageSet> {
+    (2u32..=6, 1usize..=2, 0u64..=u64::MAX).prop_map(|(z, classes_per_source, seed)| {
+        // Simple deterministic expansion of the seed into parameters.
+        let mut s = seed;
+        let mut next = move |range: std::ops::RangeInclusive<u64>| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            range.start() + (s >> 33) % (range.end() - range.start() + 1)
+        };
+        let mut classes = Vec::new();
+        let mut id = 0u32;
+        for source in 0..z {
+            for _ in 0..classes_per_source {
+                let bits = next(500..=20_000);
+                let a = next(1..=3);
+                let w = Ticks(next(500_000..=4_000_000));
+                let deadline = Ticks(next(200_000..=8_000_000));
+                classes.push(MessageClass {
+                    id: ClassId(id),
+                    name: format!("c{id}"),
+                    source: SourceId(source),
+                    bits,
+                    deadline,
+                    density: DensityBound::new(a, w).expect("valid bound"),
+                });
+                id += 1;
+            }
+        }
+        MessageSet::new(z, classes).expect("valid set")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a full protocol simulation
+        .. ProptestConfig::default()
+    })]
+
+    /// FC-accepted instances never miss under the adversarial workload,
+    /// and the measured worst latency stays within every class's bound.
+    #[test]
+    fn feasible_instances_never_miss(set in instance_strategy()) {
+        let medium = MediumConfig::ethernet();
+        let c = network::recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(set.sources(), c).expect("config");
+        let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+            .expect("allocation");
+        let report = feasibility::evaluate(&set, &config, &allocation, &medium)
+            .expect("feasibility");
+        prop_assume!(report.feasible());
+
+        // Adversarial peak load over several windows.
+        let max_w = set.classes().iter().map(|cl| cl.density.w.as_u64()).max().unwrap();
+        let schedule = ScheduleBuilder::peak_load(&set)
+            .build(Ticks(max_w * 3))
+            .expect("schedule");
+        let n = schedule.len();
+        let stats = network::run(
+            &set,
+            schedule,
+            &config,
+            &allocation,
+            medium,
+            network::RunLimit::Completion(Ticks(500_000_000_000)),
+        )
+        .expect("run");
+        prop_assert_eq!(stats.deliveries.len(), n, "lost messages");
+        prop_assert_eq!(stats.deadline_misses(), 0, "feasible instance missed");
+
+        // Per-class measured worst latency <= per-class analytic bound.
+        for class_report in &report.per_class {
+            let worst = stats
+                .deliveries
+                .iter()
+                .filter(|d| d.message.class == class_report.class)
+                .map(|d| d.latency().as_u64())
+                .max()
+                .unwrap_or(0);
+            prop_assert!(
+                (worst as f64) <= class_report.bound + 1e-6,
+                "class {} measured {} > bound {}",
+                class_report.class, worst, class_report.bound
+            );
+        }
+    }
+
+    /// The bound is monotone in the deadline: tightening every deadline
+    /// can only shrink slack (never make an infeasible set feasible).
+    #[test]
+    fn tightening_deadlines_never_helps(set in instance_strategy()) {
+        let medium = MediumConfig::ethernet();
+        let c = network::recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(set.sources(), c).expect("config");
+        let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+            .expect("allocation");
+        let report = feasibility::evaluate(&set, &config, &allocation, &medium)
+            .expect("feasibility");
+
+        let halved_classes: Vec<MessageClass> = set
+            .classes()
+            .iter()
+            .map(|cl| MessageClass {
+                deadline: Ticks((cl.deadline.as_u64() / 2).max(1)),
+                ..cl.clone()
+            })
+            .collect();
+        let halved = MessageSet::new(set.sources(), halved_classes).expect("set");
+        let halved_report = feasibility::evaluate(&halved, &config, &allocation, &medium)
+            .expect("feasibility");
+        prop_assert!(
+            !halved_report.feasible() || report.feasible(),
+            "halving deadlines must not turn an infeasible set feasible"
+        );
+    }
+}
