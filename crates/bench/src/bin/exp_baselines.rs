@@ -11,13 +11,18 @@
 //! stochastic BEB baseline misses urgent deadlines as load rises — its
 //! tail latency is unbounded — while deadline-aware deterministic DDCR
 //! holds zero misses far longer; the oracle lower-bounds everyone; DCR is
-//! deterministic but deadline-blind, landing in between. Writes
-//! `results/exp_baselines.csv`.
+//! deterministic but deadline-blind, landing in between.
+//!
+//! Runs as a deterministic parallel sweep (`--jobs N` or `DDCR_JOBS`;
+//! the CSV is byte-identical for every worker count). Writes
+//! `results/exp_baselines.csv` plus per-job timing/cache metadata to
+//! `results/exp_baselines_sweep_stats.csv`.
 
 use ddcr_baseline::QueueDiscipline;
-use ddcr_bench::harness::{compare, default_ddcr_config, ProtocolKind};
-use ddcr_bench::report::{ascii_chart, Csv, Series};
+use ddcr_bench::harness::{default_ddcr_config, ProtocolKind};
+use ddcr_bench::report::{ascii_chart, write_sweep_stats, Csv, Series};
 use ddcr_bench::results_dir;
+use ddcr_bench::sweep::{jobs_flag_from_args, SweepConfig, SweepGrid};
 use ddcr_sim::{ClassId, MediumConfig, SourceId, Ticks};
 use ddcr_traffic::{DensityBound, MessageClass, MessageSet, ScheduleBuilder};
 use std::collections::BTreeMap;
@@ -77,12 +82,16 @@ fn main() {
         "load", "protocol", "sched", "misses", "miss%", "mean_lat", "max_lat", "util", "collisions"
     );
 
-    let mut miss_series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
-    let mut summaries_by_load = Vec::new();
-
-    for a in [1u64, 2, 3, 4] {
+    // Build the full (load × protocol) grid, then fan it out over the
+    // worker pool. Per-job seeds derive from (master_seed=42, job index),
+    // so the stochastic BEB rows are reproducible for any --jobs value.
+    let loads = [1u64, 2, 3, 4];
+    let mut grid = SweepGrid::new();
+    let mut offered_loads = Vec::new();
+    for a in loads {
         let set = workload(z, a);
         let load = set.offered_load();
+        offered_loads.push(load);
         let horizon = Ticks(set.classes()[0].density.w.as_u64() * 6);
         let schedule = ScheduleBuilder::peak_load(&set).build(horizon).expect("schedule");
         let kinds = [
@@ -92,8 +101,23 @@ fn main() {
             ProtocolKind::Dcr(QueueDiscipline::Edf),
             ProtocolKind::NpEdf,
         ];
-        let summaries =
-            compare(&kinds, &set, &schedule, medium, Ticks(60_000_000_000)).expect("runs");
+        grid.push_comparison(
+            &format!("{load:.2}"),
+            &kinds,
+            &set,
+            &schedule,
+            medium,
+            Ticks(60_000_000_000),
+        );
+    }
+    let kinds_per_load = grid.len() / loads.len();
+    let report = grid.run(SweepConfig::resolve(jobs_flag_from_args(), 42));
+    let all = report.summaries().expect("runs");
+
+    let mut miss_series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut summaries_by_load = Vec::new();
+    for (i, &load) in offered_loads.iter().enumerate() {
+        let summaries = all[i * kinds_per_load..(i + 1) * kinds_per_load].to_vec();
         for s in &summaries {
             println!(
                 "{:>5.2} {:<14} {:>6} {:>7} {:>9.4} {:>12.0} {:>12} {:>7.3} {:>10}",
@@ -130,6 +154,9 @@ fn main() {
         println!();
     }
     csv.finish().expect("flush");
+    write_sweep_stats(&results_dir().join("exp_baselines_sweep_stats.csv"), &report)
+        .expect("sweep stats");
+    println!("{}", report.perf_line());
 
     let series: Vec<Series> = miss_series
         .iter()

@@ -13,11 +13,16 @@
 //! With `θ = 0` the far messages thrash in attempt-slot collisions until
 //! physical time catches up (long completion, heavy overhead); raising `θ`
 //! compresses time so they enter the tree early (fast completion) at the
-//! price of deadline inversions against the urgent stream. Writes
-//! `results/exp_theta.csv`.
+//! price of deadline inversions against the urgent stream.
+//!
+//! The five θ points run as a deterministic parallel sweep (`--jobs N` /
+//! `DDCR_JOBS`; DDCR is deterministic, so results are independent of the
+//! worker count). Writes `results/exp_theta.csv` plus
+//! `results/exp_theta_sweep_stats.csv`.
 
-use ddcr_bench::report::Csv;
+use ddcr_bench::report::{write_indexed_stats, Csv};
 use ddcr_bench::results_dir;
+use ddcr_bench::sweep::{jobs_flag_from_args, run_indexed, SweepConfig};
 use ddcr_core::{inversions, network, DdcrConfig, StaticAllocation};
 use ddcr_sim::{ClassId, Delivery, MediumConfig, Message, MessageId, SourceId, Ticks};
 
@@ -48,6 +53,58 @@ fn schedule() -> Vec<Message> {
     messages
 }
 
+struct ThetaPoint {
+    theta: u64,
+    far_done: Ticks,
+    urgent_max: Ticks,
+    urgent_misses: usize,
+    inversions: u64,
+    silence_slots: u64,
+    collisions: u64,
+}
+
+fn run_theta(theta: u64, medium: MediumConfig) -> ThetaPoint {
+    let config = DdcrConfig::for_sources(4, Ticks(100_000))
+        .expect("config") // c = 100 µs, horizon = 6.4 ms
+        .with_compressed_time(theta);
+    let allocation =
+        StaticAllocation::one_per_source(config.static_tree, 4).expect("allocation");
+    let set = ddcr_traffic::scenario::uniform(4, 12_000, Ticks(40_000_000), 0.01)
+        .expect("shell set"); // engine assembly only; arrivals are explicit
+    let mut engine =
+        network::build_engine(&set, &config, &allocation, medium).expect("engine");
+    engine.add_arrivals(schedule()).expect("arrivals");
+    engine
+        .run_to_completion(Ticks(10_000_000_000))
+        .expect("completion");
+    let stats = engine.into_stats();
+
+    let far_done = stats
+        .deliveries
+        .iter()
+        .filter(|d| d.message.class == ClassId(0))
+        .map(|d| d.completed_at)
+        .max()
+        .expect("far messages delivered");
+    let urgent: Vec<&Delivery> = stats
+        .deliveries
+        .iter()
+        .filter(|d| d.message.class == ClassId(1))
+        .collect();
+    let urgent_max = urgent.iter().map(|d| d.latency()).max().expect("urgent");
+    let urgent_misses = urgent.iter().filter(|d| !d.deadline_met()).count();
+    let inversions = inversions::count(&stats.deliveries).pairs;
+    ThetaPoint {
+        theta,
+        far_done,
+        urgent_max,
+        urgent_misses,
+        inversions,
+        silence_slots: stats.silence_slots,
+        collisions: stats.collisions,
+    }
+}
+
 fn main() {
     let medium = MediumConfig::ethernet();
     let mut csv = Csv::create(
@@ -70,64 +127,49 @@ fn main() {
         "theta", "far done (ms)", "urgent max (us)", "urgent miss", "inversions", "silence", "collisions"
     );
 
+    let thetas = [0u64, 1, 4, 16, 64];
+    let labels: Vec<String> = thetas.iter().map(|t| format!("theta={t}")).collect();
+    let report = run_indexed(
+        SweepConfig::resolve(jobs_flag_from_args(), 9),
+        thetas.len(),
+        |ctx| run_theta(thetas[ctx.index], medium),
+    );
+
     let mut far_completions = Vec::new();
     let mut inversion_counts = Vec::new();
-    for theta in [0u64, 1, 4, 16, 64] {
-        let config = DdcrConfig::for_sources(4, Ticks(100_000))
-            .expect("config") // c = 100 µs, horizon = 6.4 ms
-            .with_compressed_time(theta);
-        let allocation =
-            StaticAllocation::one_per_source(config.static_tree, 4).expect("allocation");
-        let set = ddcr_traffic::scenario::uniform(4, 12_000, Ticks(40_000_000), 0.01)
-            .expect("shell set"); // engine assembly only; arrivals are explicit
-        let mut engine =
-            network::build_engine(&set, &config, &allocation, medium).expect("engine");
-        engine.add_arrivals(schedule()).expect("arrivals");
-        engine
-            .run_to_completion(Ticks(10_000_000_000))
-            .expect("completion");
-        let stats = engine.into_stats();
-
-        let far_done = stats
-            .deliveries
-            .iter()
-            .filter(|d| d.message.class == ClassId(0))
-            .map(|d| d.completed_at)
-            .max()
-            .expect("far messages delivered");
-        let urgent: Vec<&Delivery> = stats
-            .deliveries
-            .iter()
-            .filter(|d| d.message.class == ClassId(1))
-            .collect();
-        let urgent_max = urgent.iter().map(|d| d.latency()).max().expect("urgent");
-        let urgent_misses = urgent.iter().filter(|d| !d.deadline_met()).count();
-        let inversions = inversions::count(&stats.deliveries).pairs;
-
+    for outcome in &report.outcomes {
+        let p = &outcome.value;
         println!(
             "{:>6} {:>16.2} {:>18.1} {:>14} {:>11} {:>14} {:>11}",
-            theta,
-            far_done.as_u64() as f64 / 1e6,
-            urgent_max.as_u64() as f64 / 1e3,
-            urgent_misses,
-            inversions,
-            stats.silence_slots,
-            stats.collisions
+            p.theta,
+            p.far_done.as_u64() as f64 / 1e6,
+            p.urgent_max.as_u64() as f64 / 1e3,
+            p.urgent_misses,
+            p.inversions,
+            p.silence_slots,
+            p.collisions
         );
         csv.row(&[
-            theta.to_string(),
-            format!("{:.3}", far_done.as_u64() as f64 / 1e6),
-            format!("{:.1}", urgent_max.as_u64() as f64 / 1e3),
-            urgent_misses.to_string(),
-            inversions.to_string(),
-            stats.silence_slots.to_string(),
-            stats.collisions.to_string(),
+            p.theta.to_string(),
+            format!("{:.3}", p.far_done.as_u64() as f64 / 1e6),
+            format!("{:.1}", p.urgent_max.as_u64() as f64 / 1e3),
+            p.urgent_misses.to_string(),
+            p.inversions.to_string(),
+            p.silence_slots.to_string(),
+            p.collisions.to_string(),
         ])
         .expect("row");
-        far_completions.push((theta, far_done));
-        inversion_counts.push((theta, inversions));
+        far_completions.push((p.theta, p.far_done));
+        inversion_counts.push((p.theta, p.inversions));
     }
     csv.finish().expect("flush");
+    write_indexed_stats(
+        &results_dir().join("exp_theta_sweep_stats.csv"),
+        &labels,
+        &report,
+    )
+    .expect("sweep stats");
+    println!("{}", report.perf_line());
 
     // The tradeoff's two monotone ends:
     let first = far_completions.first().expect("runs");

@@ -21,6 +21,19 @@ pub enum ProtocolKind {
 }
 
 impl ProtocolKind {
+    /// Returns this protocol reseeded for one sweep job. Only CSMA-CD is
+    /// stochastic; the deterministic protocols come back unchanged. The
+    /// sweep runner calls this with a seed derived from
+    /// `(master_seed, job_index)` so a grid's results are a pure function
+    /// of the grid and the master seed, whatever the worker count.
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> ProtocolKind {
+        match self {
+            ProtocolKind::CsmaCd(discipline, _) => ProtocolKind::CsmaCd(*discipline, seed),
+            other => other.clone(),
+        }
+    }
+
     /// Short name for tables and CSV.
     pub fn name(&self) -> String {
         match self {
@@ -38,7 +51,11 @@ impl ProtocolKind {
 }
 
 /// Outcome summary of one protocol run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is field-for-field (including the `f64` fields, compared
+/// exactly): the determinism regression tests assert that sweeps produce
+/// *bitwise* identical summaries for any worker count.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Protocol name.
     pub protocol: String,

@@ -10,6 +10,7 @@
 
 pub mod harness;
 pub mod report;
+pub mod sweep;
 
 /// The directory experiment binaries write CSV results into, created on
 /// demand (`results/` under the workspace root or current directory).

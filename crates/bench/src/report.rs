@@ -43,6 +43,83 @@ impl Csv {
     }
 }
 
+/// Writes per-job sweep performance metadata (wall-clock, table-cache
+/// traffic) to its own CSV, **separate** from the experiment's result CSV:
+/// timings and cache attribution vary with worker interleaving, while the
+/// result CSV must stay byte-identical across `--jobs` settings. A final
+/// `TOTAL` row carries the aggregate wall-clock, cpu time, and cache
+/// counters.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_sweep_stats(path: &Path, report: &crate::sweep::SweepReport) -> std::io::Result<()> {
+    let mut csv = Csv::create(
+        path,
+        &["job", "label", "protocol", "seed", "wall_ms", "cache_hits", "cache_misses"],
+    )?;
+    for o in &report.outcomes {
+        csv.row(&[
+            o.index.to_string(),
+            o.label.clone(),
+            o.protocol.clone(),
+            o.seed.to_string(),
+            format!("{:.3}", o.wall.as_secs_f64() * 1e3),
+            o.cache.hits.to_string(),
+            o.cache.misses.to_string(),
+        ])?;
+    }
+    let totals = report.cache_totals();
+    csv.row(&[
+        "TOTAL".to_owned(),
+        format!("workers={}", report.workers),
+        format!("cpu_ms={:.3}", report.cpu_time().as_secs_f64() * 1e3),
+        String::new(),
+        format!("{:.3}", report.wall_clock.as_secs_f64() * 1e3),
+        totals.hits.to_string(),
+        totals.misses.to_string(),
+    ])?;
+    csv.finish()
+}
+
+/// Like [`write_sweep_stats`] but for a generic [`crate::sweep::IndexedReport`]
+/// (experiments whose jobs return something other than a `RunSummary`);
+/// `labels[i]` names job `i`.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_indexed_stats<T>(
+    path: &Path,
+    labels: &[String],
+    report: &crate::sweep::IndexedReport<T>,
+) -> std::io::Result<()> {
+    let mut csv = Csv::create(
+        path,
+        &["job", "label", "seed", "wall_ms", "cache_hits", "cache_misses"],
+    )?;
+    for o in &report.outcomes {
+        csv.row(&[
+            o.index.to_string(),
+            labels.get(o.index).cloned().unwrap_or_default(),
+            o.seed.to_string(),
+            format!("{:.3}", o.wall.as_secs_f64() * 1e3),
+            o.cache.hits.to_string(),
+            o.cache.misses.to_string(),
+        ])?;
+    }
+    let totals = report.cache_totals();
+    csv.row(&[
+        "TOTAL".to_owned(),
+        format!("workers={}", report.workers),
+        format!("cpu_ms={:.3}", report.cpu_time().as_secs_f64() * 1e3),
+        format!("{:.3}", report.wall_clock.as_secs_f64() * 1e3),
+        totals.hits.to_string(),
+        totals.misses.to_string(),
+    ])?;
+    csv.finish()
+}
+
 /// One named series for [`ascii_chart`].
 #[derive(Debug, Clone)]
 pub struct Series {

@@ -6,7 +6,7 @@ use ddcr_baseline::QueueDiscipline;
 use ddcr_core::{dimensioning, feasibility, multibus, network, DdcrConfig, StaticAllocation};
 use ddcr_sim::{Engine, MediumConfig, SourceId, Ticks};
 use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
-use ddcr_tree::{asymptotic, closed_form, witness, SearchTimeTable, TreeShape};
+use ddcr_tree::{asymptotic, closed_form, witness, TreeShape};
 use std::fmt::Write as _;
 
 /// Top-level dispatch; returns the text to print.
@@ -22,6 +22,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("feasibility") => cmd_feasibility(args),
         Some("dimension") => cmd_dimension(args),
         Some("simulate") => cmd_simulate(args),
+        Some("sweep") => cmd_sweep(args),
         Some("multibus") => cmd_multibus(args),
         Some("check") => cmd_check(args),
         Some("help") | None => Ok(usage()),
@@ -50,6 +51,11 @@ COMMANDS
   simulate     run a peak-load workload through a protocol
                  --scenario ... --sources Z --protocol ddcr|csma-cd|dcr|np-edf
                  [--horizon-ms H] [--seed S] [--medium ...]
+  sweep        compare all protocols over a peak-load workload, in parallel
+                 --scenario ... --sources Z
+                 [--horizon-ms H] [--seed S] [--jobs J] [--medium ...]
+                 (J worker threads; default from DDCR_JOBS or core count;
+                  results are identical for every J)
   multibus     per-bus feasibility over parallel media
                  --scenario ... --sources Z --buses B [--medium ...]
   check        bounded exhaustive model check of the protocol
@@ -68,7 +74,9 @@ fn shape_from(args: &Args) -> Result<TreeShape, ArgError> {
 fn cmd_xi(args: &Args) -> Result<String, ArgError> {
     args.allow_only(&["m", "n", "k"])?;
     let shape = shape_from(args)?;
-    let table = SearchTimeTable::compute(shape).map_err(|e| ArgError(e.to_string()))?;
+    let table = ddcr_tree::cache::global()
+        .worst_case(shape)
+        .map_err(|e| ArgError(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "{shape}");
     match args.get("k") {
@@ -323,6 +331,74 @@ fn cmd_simulate(args: &Args) -> Result<String, String> {
     ))
 }
 
+fn cmd_sweep(args: &Args) -> Result<String, String> {
+    use ddcr_bench::harness::{default_ddcr_config, ProtocolKind};
+    use ddcr_bench::sweep::{SweepConfig, SweepGrid};
+
+    args.allow_only(&[
+        "scenario",
+        "sources",
+        "load",
+        "deadline-ms",
+        "bits",
+        "medium",
+        "horizon-ms",
+        "seed",
+        "jobs",
+    ])
+    .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let horizon_ms: u64 = args.get_or("horizon-ms", 10).map_err(|e| e.to_string())?;
+    let master_seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let jobs: Option<usize> = match args.get("jobs") {
+        None => None,
+        Some(_) => Some(args.require_typed("jobs").map_err(|e| e.to_string())?),
+    };
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(horizon_ms * 1_000_000))
+        .map_err(|e| e.to_string())?;
+    let kinds = [
+        ProtocolKind::Ddcr(default_ddcr_config(&set, &medium)),
+        ProtocolKind::CsmaCd(QueueDiscipline::Fifo, 0),
+        ProtocolKind::CsmaCd(QueueDiscipline::Edf, 0),
+        ProtocolKind::Dcr(QueueDiscipline::Edf),
+        ProtocolKind::NpEdf,
+    ];
+    let mut grid = SweepGrid::new();
+    grid.push_comparison(
+        args.require("scenario").map_err(|e| e.to_string())?,
+        &kinds,
+        &set,
+        &schedule,
+        medium,
+        Ticks(1_000_000_000_000),
+    );
+    let report = grid.run(SweepConfig::resolve(jobs, master_seed));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>6} {:>9} {:>7} {:>12} {:>12} {:>7} {:>10}",
+        "protocol", "sched", "delivered", "misses", "mean_lat", "max_lat", "util", "collisions"
+    );
+    for summary in report.summaries()? {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>9} {:>7} {:>12.0} {:>12} {:>7.3} {:>10}",
+            summary.protocol,
+            summary.scheduled,
+            summary.delivered,
+            summary.misses,
+            summary.mean_latency,
+            summary.max_latency,
+            summary.utilization,
+            summary.collisions
+        );
+    }
+    let _ = writeln!(out, "{}", report.perf_line());
+    Ok(out)
+}
+
 fn cmd_multibus(args: &Args) -> Result<String, String> {
     args.allow_only(&["scenario", "sources", "load", "deadline-ms", "bits", "medium", "buses"])
         .map_err(|e| e.to_string())?;
@@ -473,6 +549,39 @@ mod tests {
             .unwrap();
             assert!(out.contains("delivered"), "{protocol}: {out}");
         }
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let line = |jobs: &str| {
+            run_line(&[
+                "sweep",
+                "--scenario",
+                "uniform",
+                "--sources",
+                "4",
+                "--load",
+                "0.2",
+                "--horizon-ms",
+                "4",
+                "--seed",
+                "7",
+                "--jobs",
+                jobs,
+            ])
+            .unwrap()
+        };
+        let one = line("1");
+        let four = line("4");
+        assert!(one.contains("ddcr") && one.contains("np-edf"), "{one}");
+        // Everything above the (timing-dependent) perf line is identical.
+        let table = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("sweep:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&one), table(&four));
     }
 
     #[test]

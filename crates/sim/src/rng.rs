@@ -34,6 +34,20 @@ pub fn derive_seed(parent: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed for sweep job number `job_index` from a master seed.
+///
+/// Domain-separated from [`derive_seed`] (which partitions a *run's* seed
+/// into per-station / per-class streams) so a sweep job's seed can itself
+/// be split with `derive_seed` without colliding with sibling jobs. The
+/// result depends only on `(master_seed, job_index)` — never on worker
+/// count, thread identity, or completion order — which is what makes
+/// parallel sweeps bitwise reproducible.
+pub fn job_seed(master_seed: u64, job_index: u64) -> u64 {
+    // Distinct fixed tweak keeps the job-seed space disjoint from the
+    // per-station space of `derive_seed(master_seed, ..)`.
+    derive_seed(master_seed ^ 0x5EED_10B5_0000_0001, job_index)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +68,21 @@ mod tests {
         let mut b = seeded_rng(8);
         let same = (0..16).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
         assert!(same < 16);
+    }
+
+    #[test]
+    fn job_seeds_are_deterministic_and_domain_separated() {
+        assert_eq!(job_seed(42, 7), job_seed(42, 7));
+        assert_ne!(job_seed(42, 7), job_seed(42, 8));
+        assert_ne!(job_seed(42, 7), job_seed(43, 7));
+        // Disjoint from the per-station derivation space.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            seen.insert(derive_seed(42, i));
+        }
+        for i in 0..1000 {
+            assert!(!seen.contains(&job_seed(42, i)), "domain collision at {i}");
+        }
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub fn universal_tightness_constant() -> f64 {
 ///
 /// Propagates table-construction errors from [`crate::exact`].
 pub fn max_gap(shape: TreeShape) -> Result<GapReport, crate::TreeError> {
-    let table = crate::exact::SearchTimeTable::compute(shape)?;
+    let table = crate::cache::global().worst_case(shape)?;
     let hi = 2 * shape.leaves() / shape.branching();
     let mut best_gap = f64::NEG_INFINITY;
     let mut best_even = f64::NEG_INFINITY;

@@ -18,7 +18,6 @@
 //! stable ratio recurrence, level by level, in `O(t·k)` per level.
 
 use crate::error::TreeError;
-use crate::exact::SearchTimeTable;
 use crate::geometry::TreeShape;
 
 /// Table of expected search slots `A_t(k)` for `k ∈ [0, t]`, where the `k`
@@ -37,8 +36,9 @@ impl ExpectedSearchTable {
     /// Returns [`TreeError::Overflow`] for trees too large to tabulate
     /// (same cap as [`SearchTimeTable`]).
     pub fn compute(shape: TreeShape) -> Result<Self, TreeError> {
-        // Reuse the exact table's size guard.
-        let _guard = SearchTimeTable::compute(shape)?;
+        // Reuse the exact table's size guard (via the process-wide cache:
+        // the worst-case table for this shape is almost always wanted too).
+        let _guard = crate::cache::global().worst_case(shape)?;
         let m = shape.branching();
         // ln(n!) table up to the full leaf count, for stable hypergeometric
         // probabilities.
@@ -128,6 +128,7 @@ fn ln_factorials(max: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::SearchTimeTable;
     use crate::search::search_active_leaves;
 
     fn table(m: u64, n: u32) -> ExpectedSearchTable {

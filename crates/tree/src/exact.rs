@@ -140,7 +140,7 @@ fn max_plus_convolve(a: &[u64], b: &[u64]) -> Vec<u64> {
 /// Propagates errors from [`SearchTimeTable::compute`] and
 /// [`SearchTimeTable::xi`].
 pub fn xi_exact(shape: TreeShape, k: u64) -> Result<u64, TreeError> {
-    SearchTimeTable::compute(shape)?.xi(k)
+    crate::cache::global().worst_case(shape)?.xi(k)
 }
 
 #[cfg(test)]

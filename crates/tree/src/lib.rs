@@ -51,6 +51,7 @@
 
 pub mod asymptotic;
 pub mod average;
+pub mod cache;
 pub mod closed_form;
 pub mod divide;
 mod error;
@@ -61,6 +62,7 @@ pub mod optimal;
 pub mod search;
 pub mod witness;
 
+pub use cache::TableCache;
 pub use error::TreeError;
 pub use exact::SearchTimeTable;
 pub use geometry::{ceil_log, ceil_log_ratio, checked_pow, floor_log, floor_log_ratio, TreeShape};

@@ -21,7 +21,6 @@
 
 use crate::asymptotic::xi_tilde;
 use crate::error::TreeError;
-use crate::exact::SearchTimeTable;
 use crate::geometry::TreeShape;
 
 /// A multi-tree problem instance: `u` active leaves (messages) spread over
@@ -83,7 +82,7 @@ impl MultiTreeProblem {
     ///
     /// Propagates table-construction errors from [`crate::exact`].
     pub fn exact_optimum(&self) -> Result<ExactOptimum, TreeError> {
-        let table = SearchTimeTable::compute(self.shape)?;
+        let table = crate::cache::global().worst_case(self.shape)?;
         let t = self.shape.leaves();
         let u = self.u as usize;
         let v = self.v as usize;
@@ -147,6 +146,7 @@ pub struct ExactOptimum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exact::SearchTimeTable;
 
     fn problem(m: u64, n: u32, u: u64, v: u64) -> MultiTreeProblem {
         MultiTreeProblem::new(TreeShape::new(m, n).unwrap(), u, v).unwrap()

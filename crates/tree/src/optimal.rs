@@ -9,7 +9,6 @@
 //! best degree per activity level `k` as well as aggregate winners.
 
 use crate::error::TreeError;
-use crate::exact::SearchTimeTable;
 use crate::geometry::TreeShape;
 
 /// Worst-case-search scores of one candidate shape.
@@ -65,7 +64,7 @@ pub fn compare_branching_degrees(
             n += 1;
         }
         let shape = TreeShape::new(m, n)?;
-        let table = SearchTimeTable::compute(shape)?;
+        let table = crate::cache::global().worst_case(shape)?;
         let hi = k_max.min(shape.leaves());
         let mut max_xi = 0;
         let mut sum_xi = 0;

@@ -13,6 +13,7 @@
 use crate::error::TreeError;
 use crate::exact::SearchTimeTable;
 use crate::geometry::TreeShape;
+use std::sync::Arc;
 
 /// Constructs a set of `k` leaves whose deterministic search costs exactly
 /// `ξ_k^t`, in `O(k·t)` time after an `O(t²)` table build.
@@ -40,11 +41,12 @@ pub fn worst_case_witness(shape: TreeShape, k: u64) -> Result<Vec<u64>, TreeErro
     if k > t {
         return Err(TreeError::TooManyActiveLeaves { k, t });
     }
-    // One exact table per subtree height (they are shared across siblings).
-    let mut tables: Vec<SearchTimeTable> = Vec::with_capacity(shape.height() as usize);
+    // One exact table per subtree height (they are shared across siblings,
+    // and across calls via the process-wide cache).
+    let mut tables: Vec<Arc<SearchTimeTable>> = Vec::with_capacity(shape.height() as usize);
     let mut cur = Some(shape);
     while let Some(s) = cur {
-        tables.push(SearchTimeTable::compute(s)?);
+        tables.push(crate::cache::global().worst_case(s)?);
         cur = s.subtree();
     }
     // tables[0] is the full tree, tables[last] the single-level subtree.
@@ -55,7 +57,7 @@ pub fn worst_case_witness(shape: TreeShape, k: u64) -> Result<Vec<u64>, TreeErro
 
 /// Recursively places `k` active leaves under the subtree at `offset`,
 /// whose table is `tables[depth]`.
-fn place(tables: &[SearchTimeTable], depth: usize, offset: u64, k: u64, out: &mut Vec<u64>) {
+fn place(tables: &[Arc<SearchTimeTable>], depth: usize, offset: u64, k: u64, out: &mut Vec<u64>) {
     let shape = tables[depth].shape();
     let t = shape.leaves();
     debug_assert!(k <= t);

@@ -1,0 +1,91 @@
+//! Property-based coverage of the memoized table cache: serving a table
+//! from [`ddcr_tree::cache`] must be observationally identical to
+//! computing it fresh, for every shape and activity level, and the cached
+//! values must satisfy the paper's closed-form boundary identities.
+
+use ddcr_tree::average::ExpectedSearchTable;
+use ddcr_tree::{cache, closed_form, SearchTimeTable, TreeShape};
+use proptest::prelude::*;
+
+/// Strategy over modest tree shapes (t ≤ 4096) plus a valid k.
+fn shape_and_k() -> impl Strategy<Value = (u64, u32, u64)> {
+    (2u64..=6, 1u32..=5)
+        .prop_filter("t fits", |(m, n)| m.pow(*n) <= 4096)
+        .prop_flat_map(|(m, n)| {
+            let t = m.pow(n);
+            (Just(m), Just(n), 0..=t)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A cached worst-case table answers every query exactly like a table
+    /// computed from scratch — the cache may never change a value.
+    #[test]
+    fn cached_xi_equals_fresh_computation((m, n, k) in shape_and_k()) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let cached = cache::global().worst_case(shape).unwrap();
+        let fresh = SearchTimeTable::compute(shape).unwrap();
+        prop_assert_eq!(cached.xi(k).unwrap(), fresh.xi(k).unwrap());
+        prop_assert_eq!(cached.as_slice(), fresh.as_slice());
+        // The convenience accessor goes through the same cache.
+        prop_assert_eq!(cache::global().xi(shape, k).unwrap(), fresh.xi(k).unwrap());
+    }
+
+    /// Boundary identities on cached tables: `ξ_0 = 1` (one probe finds
+    /// silence), `ξ_1 = 0` (a lone message transmits without search),
+    /// `ξ_2 = mn − 1` (Eq. 5) and `ξ_t = (t − 1)·m/(m − 1)` (Eq. 7,
+    /// via `closed_form::xi_full`).
+    #[test]
+    fn cached_tables_satisfy_boundary_identities(
+        (m, n) in (2u64..=6, 1u32..=5).prop_filter("t fits", |(m, n)| m.pow(*n) <= 4096)
+    ) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let table = cache::global().worst_case(shape).unwrap();
+        prop_assert_eq!(table.xi(0).unwrap(), 1);
+        prop_assert_eq!(table.xi(1).unwrap(), 0);
+        prop_assert_eq!(table.xi(2).unwrap(), closed_form::xi_two(shape));
+        prop_assert_eq!(table.xi(2).unwrap(), m * u64::from(n) - 1);
+        let t = shape.leaves();
+        prop_assert_eq!(table.xi(t).unwrap(), closed_form::xi_full(shape));
+        prop_assert_eq!(
+            table.xi(closed_form::peak_k(shape)).unwrap(),
+            closed_form::xi_peak(shape)
+        );
+    }
+
+    /// Same for the expected-cost table: cache and fresh computation agree
+    /// bitwise on every entry.
+    #[test]
+    fn cached_expected_equals_fresh_computation(
+        (m, n) in (2u64..=4, 1u32..=4).prop_filter("t fits", |(m, n)| m.pow(*n) <= 256)
+    ) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let cached = cache::global().expected(shape).unwrap();
+        let fresh = ExpectedSearchTable::compute(shape).unwrap();
+        for k in 0..=shape.leaves() {
+            prop_assert_eq!(
+                cached.expected(k).unwrap().to_bits(),
+                fresh.expected(k).unwrap().to_bits(),
+                "k={}", k
+            );
+        }
+    }
+
+    /// Repeated lookups are served from the cache (the hit counter moves),
+    /// and the same `Arc` is returned each time.
+    #[test]
+    fn repeat_lookups_hit_the_cache(
+        (m, n) in (2u64..=6, 1u32..=5).prop_filter("t fits", |(m, n)| m.pow(*n) <= 4096)
+    ) {
+        let shape = TreeShape::new(m, n).unwrap();
+        let first = cache::global().worst_case(shape).unwrap();
+        let before = cache::thread_stats();
+        let second = cache::global().worst_case(shape).unwrap();
+        let delta = cache::thread_stats().since(before);
+        prop_assert!(std::sync::Arc::ptr_eq(&first, &second));
+        prop_assert_eq!(delta.hits, 1);
+        prop_assert_eq!(delta.misses, 0);
+    }
+}

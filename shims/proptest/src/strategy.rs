@@ -1,0 +1,245 @@
+//! Strategy trait and combinators for the proptest shim.
+//!
+//! A [`Strategy`] samples values from a deterministic RNG; `None` means
+//! the sample was rejected (a `prop_filter` miss) and the runner should
+//! draw again. There is no shrinking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+/// Deterministic RNG handed to strategies by the `proptest!` runner.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds a stream from the property name (plus `PROPTEST_SHIM_SEED`
+    /// when set), so each property samples reproducibly.
+    pub fn deterministic(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xDDC4_0001_u64);
+        let mut h = base;
+        for b in name.bytes() {
+            h = h.wrapping_mul(0x100_0000_01B3).wrapping_add(u64::from(b));
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Draws a value uniformly from `range`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.gen_range(range)
+    }
+
+    /// Draws a uniformly random value.
+    pub fn gen<T: rand::StandardSample>(&mut self) -> T {
+        self.0.gen::<T>()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of random values of one type, with combinators.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value, or `None` when a filter rejected the sample.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transforms produced values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains a value-dependent follow-up strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying the predicate; rejected samples are
+    /// redrawn by the runner.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let first = self.inner.sample(rng)?;
+        (self.f)(first).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)] // kept for parity with proptest's diagnostics
+    whence: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let value = self.inner.sample(rng)?;
+        if (self.f)(&value) {
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+/// The sampling function a [`BoxedStrategy`] erases to.
+type SampleFn<V> = Box<dyn Fn(&mut TestRng) -> Option<V>>;
+
+/// Type-erased strategy; see [`Strategy::boxed`].
+pub struct BoxedStrategy<V>(SampleFn<V>);
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> Option<V> {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among strategies of a common value type
+/// (`prop_oneof!`).
+#[derive(Debug)]
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> Option<V> {
+        let pick = rng.gen_range(0..self.arms.len());
+        self.arms[pick].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);

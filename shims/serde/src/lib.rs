@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derives. The
+//! workspace derives `Serialize`/`Deserialize` on value types but never
+//! serializes them (CSV output goes through `Display`), so empty
+//! expansions satisfy every use site.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//! The workspace only uses the derives as declarative markers (no code
+//! actually serializes anything), so expanding to nothing is sound.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -113,6 +113,99 @@ fn replicas_never_diverge_over_long_runs() {
     assert!(stations.iter().all(|s| s.backlog() == 0), "undrained backlog");
 }
 
+/// The parallel sweep runner's core guarantee: the same grid run with 1
+/// worker and with 8 workers yields `RunSummary` vectors that are equal
+/// field for field (including the float fields, compared exactly). Covers
+/// all four protocols — including the stochastic CSMA-CD baseline, whose
+/// per-job seed must derive from the job index, not from scheduling.
+#[test]
+fn sweep_results_identical_across_worker_counts() {
+    use ddcr_baseline::QueueDiscipline;
+    use ddcr_bench::harness::{default_ddcr_config, ProtocolKind};
+    use ddcr_bench::sweep::{SweepConfig, SweepGrid};
+
+    let medium = MediumConfig::ethernet();
+    let mut grid = SweepGrid::new();
+    for (z, load) in [(4u32, 0.2f64), (4, 0.4), (8, 0.3)] {
+        let set = scenario::uniform(z, 8_000, Ticks(5_000_000), load).unwrap();
+        let schedule = ScheduleBuilder::peak_load(&set)
+            .build(Ticks(2_000_000))
+            .unwrap();
+        let kinds = [
+            ProtocolKind::Ddcr(default_ddcr_config(&set, &medium)),
+            ProtocolKind::CsmaCd(QueueDiscipline::Fifo, 0),
+            ProtocolKind::CsmaCd(QueueDiscipline::Edf, 0),
+            ProtocolKind::Dcr(QueueDiscipline::Fifo),
+            ProtocolKind::NpEdf,
+        ];
+        grid.push_comparison(
+            &format!("z={z}/load={load}"),
+            &kinds,
+            &set,
+            &schedule,
+            medium,
+            Ticks(1_000_000_000),
+        );
+    }
+
+    let serial = grid
+        .run(SweepConfig::new(1, 42))
+        .summaries()
+        .expect("serial sweep");
+    let parallel = grid
+        .run(SweepConfig::new(8, 42))
+        .summaries()
+        .expect("parallel sweep");
+
+    assert_eq!(serial.len(), grid.len());
+    // Field-for-field: RunSummary derives PartialEq over every field.
+    assert_eq!(serial, parallel);
+
+    // And an explicit spot-check that the float fields really are bitwise
+    // equal, not merely approximately so.
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.miss_ratio.to_bits(), b.miss_ratio.to_bits(), "{}", a.protocol);
+        assert_eq!(
+            a.mean_latency.to_bits(),
+            b.mean_latency.to_bits(),
+            "{}",
+            a.protocol
+        );
+        assert_eq!(
+            a.utilization.to_bits(),
+            b.utilization.to_bits(),
+            "{}",
+            a.protocol
+        );
+    }
+}
+
+/// Re-running the same sweep twice in one process must also be stable
+/// (the table cache warms up on the first run; cached tables must not
+/// change any result).
+#[test]
+fn sweep_results_stable_across_repeated_runs() {
+    use ddcr_baseline::QueueDiscipline;
+    use ddcr_bench::harness::{default_ddcr_config, ProtocolKind};
+    use ddcr_bench::sweep::{SweepConfig, SweepGrid};
+
+    let medium = MediumConfig::ethernet();
+    let set = scenario::uniform(4, 8_000, Ticks(5_000_000), 0.3).unwrap();
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(2_000_000))
+        .unwrap();
+    let kinds = [
+        ProtocolKind::Ddcr(default_ddcr_config(&set, &medium)),
+        ProtocolKind::CsmaCd(QueueDiscipline::Fifo, 0),
+        ProtocolKind::NpEdf,
+    ];
+    let mut grid = SweepGrid::new();
+    grid.push_comparison("repeat", &kinds, &set, &schedule, medium, Ticks(1_000_000_000));
+    let first = grid.run(SweepConfig::new(2, 7)).summaries().unwrap();
+    let second = grid.run(SweepConfig::new(3, 7)).summaries().unwrap();
+    assert_eq!(first, second);
+}
+
 #[test]
 fn csma_cd_trace_is_seed_deterministic() {
     use ddcr_baseline::{CsmaCdStation, QueueDiscipline};

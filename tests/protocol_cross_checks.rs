@@ -97,6 +97,48 @@ fn oracle_lower_bounds_ddcr_everywhere() {
     }
 }
 
+/// Cross-protocol smoke test over a spread of workloads: the NP-EDF
+/// oracle (centralized, zero contention, deadline-optimal among
+/// non-preemptive work-conserving schedulers) never reports **more**
+/// misses than distributed CSMA/DDCR on the same workload, where misses
+/// count deadline overruns among deliveries plus undelivered messages.
+#[test]
+fn oracle_never_misses_more_than_ddcr() {
+    use ddcr_bench::harness::{default_ddcr_config, run_protocol, ProtocolKind};
+    use ddcr_traffic::ScheduleBuilder;
+
+    let medium = MediumConfig::ethernet();
+    for (z, load, deadline) in [
+        (4u32, 0.2f64, 5_000_000u64),
+        (4, 0.5, 2_000_000),
+        (8, 0.4, 3_000_000),
+        (8, 0.8, 1_000_000), // overloaded: both protocols will miss
+        (16, 0.6, 2_000_000),
+    ] {
+        let set = scenario::uniform(z, 8_000, Ticks(deadline), load).unwrap();
+        let schedule = ScheduleBuilder::peak_load(&set)
+            .build(Ticks(4_000_000))
+            .unwrap();
+        let budget = Ticks(10_000_000_000);
+        let ddcr = run_protocol(
+            &ProtocolKind::Ddcr(default_ddcr_config(&set, &medium)),
+            &set,
+            &schedule,
+            medium,
+            budget,
+        )
+        .unwrap();
+        let oracle = run_protocol(&ProtocolKind::NpEdf, &set, &schedule, medium, budget).unwrap();
+        assert_eq!(oracle.scheduled, ddcr.scheduled);
+        assert!(
+            oracle.misses <= ddcr.misses,
+            "z={z} load={load} deadline={deadline}: oracle missed {} > ddcr {}",
+            oracle.misses,
+            ddcr.misses
+        );
+    }
+}
+
 /// DDCR serves strictly by deadline class across sources: with distinct
 /// deadline classes, delivery order equals EDF order even though the
 /// sources are distributed.
