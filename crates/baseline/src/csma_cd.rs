@@ -48,6 +48,9 @@ pub struct CsmaCdCounters {
 pub struct CsmaCdStation {
     source: SourceId,
     overhead_bits: u64,
+    /// Slot time `x` of the medium, to convert the slot-denominated
+    /// backoff into a tick horizon for idle fast-forward.
+    slot_ticks: u64,
     queue: LocalQueue,
     rng: StdRng,
     /// Remaining backoff, in observed slots.
@@ -76,6 +79,7 @@ impl CsmaCdStation {
         CsmaCdStation {
             source,
             overhead_bits: medium.overhead_bits,
+            slot_ticks: medium.slot_ticks,
             queue: LocalQueue::new(discipline),
             rng: seeded_rng(derive_seed(seed, u64::from(source.0))),
             backoff: 0,
@@ -157,6 +161,24 @@ impl Station for CsmaCdStation {
 
     fn backlog(&self) -> usize {
         self.queue.len()
+    }
+
+    fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+        if self.queue.is_empty() {
+            // Nothing to send: silence only drains backoff, which
+            // `skip_silence` accounts for in bulk.
+            None
+        } else if self.backoff == 0 {
+            Some(now)
+        } else {
+            // Idle until the backoff expires, then 1-persistent again.
+            Some(now + Ticks(self.slot_ticks) * self.backoff)
+        }
+    }
+
+    fn skip_silence(&mut self, _from: Ticks, slots: u64, _slot: Ticks) {
+        // A silence observation only decrements the backoff counter.
+        self.backoff = self.backoff.saturating_sub(slots);
     }
 
     fn label(&self) -> String {

@@ -224,6 +224,22 @@ impl Station for DcrStation {
         self.queue.len()
     }
 
+    fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+        match self.phase {
+            // Idle in Normal phase: silence observations are no-ops, so the
+            // station sleeps until its next delivery.
+            Phase::Normal if self.queue.is_empty() => None,
+            // Holding work, or mid-epoch (silence slots advance the tree
+            // search): every slot matters.
+            _ => Some(now),
+        }
+    }
+
+    fn skip_silence(&mut self, _from: Ticks, _slots: u64, _slot: Ticks) {
+        // Only reachable while Normal with an empty queue (see
+        // `next_ready`), where a silence observation changes nothing.
+    }
+
     fn label(&self) -> String {
         format!("dcr:{}", self.source)
     }

@@ -113,6 +113,20 @@ impl Station for NpEdfOracle {
         self.queue.len()
     }
 
+    fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+        // The oracle transmits whenever it holds work and sleeps otherwise;
+        // silence carries no protocol state for it.
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    fn skip_silence(&mut self, _from: Ticks, _slots: u64, _slot: Ticks) {
+        // Silence observations are a no-op (see `observe`).
+    }
+
     fn label(&self) -> String {
         "np-edf-oracle".to_owned()
     }

@@ -1,0 +1,48 @@
+//! Perf-gate comparator: validates `BENCH_engine.json` against the schema
+//! and thresholds in [`ddcr_bench::enginebench::check_report`].
+//!
+//! ```text
+//! bench_check [report-path]
+//! ```
+//!
+//! Exit status 0 when the gate passes, 1 with one line per violation when
+//! it does not (missing file, malformed JSON, schema mismatch, speedup
+//! below the 2x floor, divergent fast/reference statistics, incomplete
+//! drains). `scripts/bench_check` wraps this binary for CI.
+
+use ddcr_bench::enginebench::{check_report, REPORT_PATH};
+use ddcr_bench::json::Json;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| REPORT_PATH.to_owned());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_check: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let violations = check_report(&doc);
+    if violations.is_empty() {
+        let speedup = doc
+            .get("idle_fast_forward")
+            .and_then(|i| i.get("speedup"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        println!("bench_check: PASS ({path}; idle fast-forward speedup {speedup:.1}x)");
+    } else {
+        for violation in &violations {
+            eprintln!("bench_check: FAIL: {violation}");
+        }
+        std::process::exit(1);
+    }
+}

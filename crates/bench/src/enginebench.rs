@@ -1,0 +1,588 @@
+//! Engine hot-path benchmark suite and the `BENCH_engine.json` perf gate.
+//!
+//! Three families of measurements, mirroring the Criterion bench
+//! `benches/engine.rs` but runnable standalone (CLI `bench-engine`, the
+//! `bench_engine` binary, CI):
+//!
+//! 1. **Idle fast-forward** — an idle-heavy scenario (low load, ≥ 32
+//!    stations) run through the optimized engine and through the retained
+//!    reference stepper (`set_fast_forward(false)`, the pre-overhaul slot
+//!    loop). Reports slot throughput for both and their ratio; the gate
+//!    requires the speedup to be ≥ 2× and the two runs to produce
+//!    identical [`ChannelStats`].
+//! 2. **Protocol drain** — DDCR, CSMA-CD and NP-EDF draining the same
+//!    workload at several station counts and loads; reports simulated
+//!    ticks per wall-clock second.
+//! 3. **EDF queue ops** — `EdfQueue` push/pop throughput at benchmark
+//!    scale (exercises the `O(log n)` binary-insert path).
+//!
+//! All wall-clock numbers are single-machine and profile-dependent; the
+//! deterministic fields (`slots`, `delivered`, `equivalent`) are exact.
+//! See `docs/PERF.md` for the report schema and gating rules.
+
+use crate::harness::{default_ddcr_config, run_protocol, ProtocolKind};
+use crate::json::Json;
+use ddcr_baseline::QueueDiscipline;
+use ddcr_core::{network, EdfQueue, StaticAllocation};
+use ddcr_sim::{ChannelStats, ClassId, MediumConfig, Message, MessageId, SourceId, Ticks};
+use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
+use std::time::Instant;
+
+/// Current `BENCH_engine.json` schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default report location (relative to the workspace root, like
+/// `results/`).
+pub const REPORT_PATH: &str = "BENCH_engine.json";
+
+/// Gate threshold: the optimized engine must clear at least this slot
+/// throughput multiple over the reference stepper on the idle-heavy
+/// scenario.
+pub const MIN_IDLE_SPEEDUP: f64 = 2.0;
+
+/// How much work the suite does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// CI-sized: seconds of wall clock, small horizons.
+    Smoke,
+    /// Local-sized: larger horizons and an extra station count.
+    Full,
+}
+
+impl Profile {
+    /// Parses `"smoke"` / `"full"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized argument.
+    pub fn from_arg(arg: &str) -> Result<Profile, String> {
+        match arg {
+            "smoke" => Ok(Profile::Smoke),
+            "full" => Ok(Profile::Full),
+            other => Err(format!("unknown profile '{other}' (expected smoke|full)")),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Timing repeats per measurement (minimum taken, to shed scheduler
+    /// noise).
+    fn repeats(self) -> usize {
+        match self {
+            Profile::Smoke => 2,
+            Profile::Full => 3,
+        }
+    }
+
+    fn idle_slots(self) -> u64 {
+        match self {
+            Profile::Smoke => 400_000,
+            Profile::Full => 4_000_000,
+        }
+    }
+
+    fn drain_grid(self) -> Vec<(u32, f64)> {
+        match self {
+            Profile::Smoke => vec![(8, 0.1), (8, 0.6), (32, 0.1), (32, 0.6)],
+            Profile::Full => vec![
+                (8, 0.1),
+                (8, 0.6),
+                (32, 0.1),
+                (32, 0.6),
+                (64, 0.1),
+                (64, 0.6),
+            ],
+        }
+    }
+
+    fn queue_messages(self) -> usize {
+        match self {
+            Profile::Smoke => 20_000,
+            Profile::Full => 200_000,
+        }
+    }
+}
+
+/// Result of the idle fast-forward measurement.
+#[derive(Debug, Clone)]
+pub struct IdleResult {
+    /// Stations on the channel.
+    pub stations: u32,
+    /// Offered load of the scenario.
+    pub load: f64,
+    /// Horizon in ticks (`slots * slot_ticks`).
+    pub horizon_ticks: u64,
+    /// Slots the reference stepper walks.
+    pub slots: u64,
+    /// Optimized wall time (min over repeats), nanoseconds.
+    pub fast_wall_ns: u64,
+    /// Reference wall time (min over repeats), nanoseconds.
+    pub reference_wall_ns: u64,
+    /// Whether fast and reference runs produced identical statistics.
+    pub equivalent: bool,
+}
+
+impl IdleResult {
+    /// Reference-over-fast wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.reference_wall_ns as f64 / self.fast_wall_ns.max(1) as f64
+    }
+
+    /// Slots per second for a wall time.
+    fn slots_per_sec(&self, wall_ns: u64) -> f64 {
+        self.slots as f64 * 1e9 / wall_ns.max(1) as f64
+    }
+}
+
+/// Result of one protocol drain measurement.
+#[derive(Debug, Clone)]
+pub struct DrainResult {
+    /// Protocol name (harness naming).
+    pub protocol: String,
+    /// Stations on the channel.
+    pub stations: u32,
+    /// Offered load.
+    pub load: f64,
+    /// Wall time (min over repeats), nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated ticks covered by the run.
+    pub sim_ticks: u64,
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Whether the workload drained inside the budget.
+    pub completed: bool,
+}
+
+/// Result of the EDF queue measurement.
+#[derive(Debug, Clone)]
+pub struct QueueResult {
+    /// push + pop operations performed.
+    pub operations: u64,
+    /// Wall time (min over repeats), nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// The full suite outcome.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Which profile ran.
+    pub profile: Profile,
+    /// Idle fast-forward measurement.
+    pub idle: IdleResult,
+    /// Protocol drain grid.
+    pub drains: Vec<DrainResult>,
+    /// EDF queue throughput.
+    pub queue: QueueResult,
+}
+
+fn time<R>(mut body: impl FnMut() -> R) -> (R, u64) {
+    let start = Instant::now();
+    let out = body();
+    (out, start.elapsed().as_nanos().try_into().unwrap_or(u64::MAX))
+}
+
+fn min_wall<R>(repeats: usize, mut body: impl FnMut() -> R) -> (R, u64) {
+    let (mut out, mut best) = time(&mut body);
+    for _ in 1..repeats {
+        let (next, wall) = time(&mut body);
+        if wall < best {
+            best = wall;
+        }
+        out = next;
+    }
+    (out, best)
+}
+
+fn idle_workload(stations: u32, load: f64, horizon: Ticks) -> (MessageSet, Vec<Message>) {
+    let set = scenario::uniform(stations, 8_000, Ticks(5_000_000), load)
+        .expect("idle scenario is valid");
+    // Sparse arrivals: the channel sits silent between them, which is the
+    // regime the fast-forward path exists for.
+    let schedule = ScheduleBuilder::bounded_random(&set, 0.05, 11)
+        .expect("intensity in (0, 1]")
+        .build(horizon)
+        .expect("schedule generation");
+    (set, schedule)
+}
+
+fn run_idle(
+    set: &MessageSet,
+    schedule: &[Message],
+    medium: MediumConfig,
+    horizon: Ticks,
+    fast_forward: bool,
+) -> ChannelStats {
+    let config = default_ddcr_config(set, &medium);
+    let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+        .expect("round robin allocation");
+    let mut engine =
+        network::build_engine(set, &config, &allocation, medium).expect("engine assembly");
+    engine.set_fast_forward(fast_forward);
+    engine.add_arrivals(schedule.to_vec()).expect("arrivals route");
+    engine.run_until(horizon);
+    engine.into_stats()
+}
+
+/// Measures the idle-heavy scenario with the optimized engine and the
+/// reference stepper. This is the perf-gate headline number.
+pub fn measure_idle(profile: Profile) -> IdleResult {
+    let stations = 32;
+    let load = 0.05;
+    let medium = MediumConfig::ethernet();
+    let horizon = Ticks(medium.slot_ticks * profile.idle_slots());
+    let (set, schedule) = idle_workload(stations, load, horizon);
+    let (fast_stats, fast_wall_ns) = min_wall(profile.repeats(), || {
+        run_idle(&set, &schedule, medium, horizon, true)
+    });
+    let (reference_stats, reference_wall_ns) = min_wall(profile.repeats(), || {
+        run_idle(&set, &schedule, medium, horizon, false)
+    });
+    IdleResult {
+        stations,
+        load,
+        horizon_ticks: horizon.as_u64(),
+        slots: reference_stats.silence_slots + reference_stats.collisions,
+        fast_wall_ns,
+        reference_wall_ns,
+        equivalent: fast_stats == reference_stats,
+    }
+}
+
+/// Measures DDCR / CSMA-CD / NP-EDF draining the same workload across the
+/// profile's `(stations, load)` grid.
+pub fn measure_drains(profile: Profile) -> Vec<DrainResult> {
+    let medium = MediumConfig::ethernet();
+    let mut out = Vec::new();
+    for (stations, load) in profile.drain_grid() {
+        let set = scenario::uniform(stations, 8_000, Ticks(5_000_000), load)
+            .expect("drain scenario is valid");
+        let schedule = ScheduleBuilder::bounded_random(&set, load.min(1.0), 23)
+            .expect("intensity in (0, 1]")
+            .build(Ticks(4_000_000))
+            .expect("schedule generation");
+        let kinds = [
+            ProtocolKind::Ddcr(default_ddcr_config(&set, &medium)),
+            ProtocolKind::CsmaCd(QueueDiscipline::Fifo, 7),
+            ProtocolKind::NpEdf,
+        ];
+        for kind in &kinds {
+            let (summary, wall_ns) = min_wall(profile.repeats(), || {
+                run_protocol(kind, &set, &schedule, medium, Ticks(40_000_000_000))
+                    .expect("protocol run")
+            });
+            out.push(DrainResult {
+                protocol: summary.protocol.clone(),
+                stations,
+                load,
+                wall_ns,
+                sim_ticks: summary.total_ticks,
+                delivered: summary.delivered,
+                completed: summary.completed,
+            });
+        }
+    }
+    out
+}
+
+/// Measures `EdfQueue` push/pop throughput: interleaved inserts (worst-case
+/// mid-queue positions) followed by a full drain.
+pub fn measure_queue(profile: Profile) -> QueueResult {
+    let n = profile.queue_messages();
+    let messages: Vec<Message> = (0..n)
+        .map(|i| Message {
+            id: MessageId(i as u64),
+            source: SourceId(0),
+            class: ClassId(0),
+            bits: 1_000,
+            arrival: Ticks(0),
+            // A scrambled deadline pattern so inserts land all over the
+            // queue rather than always at one end.
+            deadline: Ticks(((i as u64).wrapping_mul(2_654_435_761)) % 1_000_000 + 1),
+        })
+        .collect();
+    let (drained, wall_ns) = min_wall(profile.repeats(), || {
+        let mut queue = EdfQueue::new();
+        for message in &messages {
+            queue.push(*message);
+        }
+        let mut drained = 0u64;
+        while queue.pop().is_some() {
+            drained += 1;
+        }
+        drained
+    });
+    assert_eq!(drained, n as u64, "queue must drain completely");
+    QueueResult {
+        operations: 2 * n as u64,
+        wall_ns,
+    }
+}
+
+/// Runs the whole suite.
+pub fn run_suite(profile: Profile) -> BenchReport {
+    BenchReport {
+        profile,
+        idle: measure_idle(profile),
+        drains: measure_drains(profile),
+        queue: measure_queue(profile),
+    }
+}
+
+impl BenchReport {
+    /// Renders the `BENCH_engine.json` document (schema in
+    /// `docs/PERF.md`).
+    pub fn to_json(&self) -> Json {
+        let idle = &self.idle;
+        Json::object([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            ("profile", Json::from(self.profile.name())),
+            ("generated_by", Json::from("ddcr-bench bench_engine")),
+            (
+                "idle_fast_forward",
+                Json::object([
+                    ("stations", Json::from(u64::from(idle.stations))),
+                    ("load", Json::from(idle.load)),
+                    ("horizon_ticks", Json::from(idle.horizon_ticks)),
+                    ("slots", Json::from(idle.slots)),
+                    ("fast_wall_ns", Json::from(idle.fast_wall_ns)),
+                    ("reference_wall_ns", Json::from(idle.reference_wall_ns)),
+                    (
+                        "fast_slots_per_sec",
+                        Json::from(idle.slots_per_sec(idle.fast_wall_ns)),
+                    ),
+                    (
+                        "reference_slots_per_sec",
+                        Json::from(idle.slots_per_sec(idle.reference_wall_ns)),
+                    ),
+                    ("speedup", Json::from(idle.speedup())),
+                    ("equivalent", Json::from(idle.equivalent)),
+                ]),
+            ),
+            (
+                "protocol_drain",
+                Json::Array(
+                    self.drains
+                        .iter()
+                        .map(|d| {
+                            Json::object([
+                                ("protocol", Json::from(d.protocol.as_str())),
+                                ("stations", Json::from(u64::from(d.stations))),
+                                ("load", Json::from(d.load)),
+                                ("wall_ns", Json::from(d.wall_ns)),
+                                ("sim_ticks", Json::from(d.sim_ticks)),
+                                (
+                                    "sim_ticks_per_sec",
+                                    Json::from(
+                                        d.sim_ticks as f64 * 1e9 / d.wall_ns.max(1) as f64,
+                                    ),
+                                ),
+                                ("delivered", Json::from(d.delivered as u64)),
+                                ("completed", Json::from(d.completed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "edf_queue",
+                Json::object([
+                    ("operations", Json::from(self.queue.operations)),
+                    ("wall_ns", Json::from(self.queue.wall_ns)),
+                    (
+                        "ops_per_sec",
+                        Json::from(
+                            self.queue.operations as f64 * 1e9
+                                / self.queue.wall_ns.max(1) as f64,
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Validates a parsed `BENCH_engine.json` against the schema and the perf
+/// gate thresholds. Returns the list of violations (empty = gate passes).
+pub fn check_report(doc: &Json) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut fail = |msg: String| violations.push(msg);
+
+    match doc.get("schema_version").and_then(Json::as_f64) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => fail(format!("schema_version {v} != {SCHEMA_VERSION}")),
+        None => fail("missing schema_version".into()),
+    }
+    if doc.get("profile").and_then(Json::as_str).is_none() {
+        fail("missing profile".into());
+    }
+
+    match doc.get("idle_fast_forward") {
+        None => fail("missing idle_fast_forward".into()),
+        Some(idle) => {
+            match idle.get("stations").and_then(Json::as_f64) {
+                Some(z) if z >= 32.0 => {}
+                other => fail(format!(
+                    "idle_fast_forward.stations must be >= 32, got {other:?}"
+                )),
+            }
+            match idle.get("load").and_then(Json::as_f64) {
+                Some(l) if l <= 0.25 => {}
+                other => fail(format!(
+                    "idle_fast_forward.load must be <= 0.25 (idle-heavy), got {other:?}"
+                )),
+            }
+            match idle.get("speedup").and_then(Json::as_f64) {
+                Some(s) if s >= MIN_IDLE_SPEEDUP => {}
+                Some(s) => fail(format!(
+                    "idle_fast_forward.speedup {s:.2} below gate {MIN_IDLE_SPEEDUP}"
+                )),
+                None => fail("missing idle_fast_forward.speedup".into()),
+            }
+            if idle.get("equivalent").and_then(Json::as_bool) != Some(true) {
+                fail("idle_fast_forward.equivalent must be true".into());
+            }
+            for key in ["slots", "fast_wall_ns", "reference_wall_ns"] {
+                match idle.get(key).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    other => fail(format!("idle_fast_forward.{key} must be > 0, got {other:?}")),
+                }
+            }
+        }
+    }
+
+    match doc.get("protocol_drain").and_then(Json::as_array) {
+        None => fail("missing protocol_drain".into()),
+        Some([]) => fail("protocol_drain is empty".into()),
+        Some(entries) => {
+            for (i, entry) in entries.iter().enumerate() {
+                if entry.get("protocol").and_then(Json::as_str).is_none() {
+                    fail(format!("protocol_drain[{i}] missing protocol"));
+                }
+                if entry.get("completed").and_then(Json::as_bool) != Some(true) {
+                    fail(format!("protocol_drain[{i}] did not complete"));
+                }
+                match entry.get("sim_ticks_per_sec").and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    other => fail(format!(
+                        "protocol_drain[{i}].sim_ticks_per_sec must be > 0, got {other:?}"
+                    )),
+                }
+            }
+        }
+    }
+
+    match doc.get("edf_queue").and_then(|q| q.get("ops_per_sec")).and_then(Json::as_f64) {
+        Some(v) if v > 0.0 => {}
+        other => fail(format!("edf_queue.ops_per_sec must be > 0, got {other:?}")),
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny inline profile would still take seconds; instead validate
+    /// the gate logic against synthetic reports.
+    fn passing_report() -> Json {
+        BenchReport {
+            profile: Profile::Smoke,
+            idle: IdleResult {
+                stations: 32,
+                load: 0.05,
+                horizon_ticks: 512 * 1000,
+                slots: 1000,
+                fast_wall_ns: 1_000,
+                reference_wall_ns: 50_000,
+                equivalent: true,
+            },
+            drains: vec![DrainResult {
+                protocol: "ddcr".into(),
+                stations: 8,
+                load: 0.1,
+                wall_ns: 5_000,
+                sim_ticks: 1_000_000,
+                delivered: 10,
+                completed: true,
+            }],
+            queue: QueueResult {
+                operations: 40_000,
+                wall_ns: 2_000_000,
+            },
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn passing_report_round_trips_and_clears_gate() {
+        let doc = passing_report();
+        let text = doc.to_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(check_report(&parsed), Vec::<String>::new());
+    }
+
+    #[test]
+    fn slow_fast_path_fails_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Object(idle)) = map.get_mut("idle_fast_forward") {
+                idle.insert("speedup".into(), Json::Number(1.2));
+            }
+        }
+        let violations = check_report(&doc);
+        assert!(violations.iter().any(|v| v.contains("below gate")), "{violations:?}");
+    }
+
+    #[test]
+    fn divergent_stats_fail_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Object(idle)) = map.get_mut("idle_fast_forward") {
+                idle.insert("equivalent".into(), Json::Bool(false));
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("equivalent")));
+    }
+
+    #[test]
+    fn missing_sections_are_reported() {
+        let doc = Json::parse(r#"{"schema_version": 1}"#).unwrap();
+        let violations = check_report(&doc);
+        for needle in ["profile", "idle_fast_forward", "protocol_drain", "edf_queue"] {
+            assert!(
+                violations.iter().any(|v| v.contains(needle)),
+                "no violation mentioning {needle}: {violations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn incomplete_drain_fails_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("protocol_drain") {
+                if let Some(Json::Object(entry)) = entries.first_mut() {
+                    entry.insert("completed".into(), Json::Bool(false));
+                }
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("did not complete")));
+    }
+
+    #[test]
+    fn queue_measurement_counts_every_operation() {
+        let result = measure_queue(Profile::Smoke);
+        assert_eq!(result.operations, 40_000);
+    }
+}

@@ -8,7 +8,9 @@
 
 #![warn(missing_docs)]
 
+pub mod enginebench;
 pub mod harness;
+pub mod json;
 pub mod report;
 pub mod sweep;
 

@@ -25,6 +25,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("sweep") => cmd_sweep(args),
         Some("multibus") => cmd_multibus(args),
         Some("check") => cmd_check(args),
+        Some("bench-engine") => cmd_bench_engine(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -60,6 +61,8 @@ COMMANDS
                  --scenario ... --sources Z --buses B [--medium ...]
   check        bounded exhaustive model check of the protocol
                  [--scope small|medium]
+  bench-engine engine hot-path perf suite; writes the BENCH_engine.json gate
+                 [--profile smoke|full] [--out PATH]  (see docs/PERF.md)
   help         this text
 "
     .to_owned()
@@ -465,6 +468,57 @@ fn cmd_check(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_bench_engine(args: &Args) -> Result<String, String> {
+    use ddcr_bench::enginebench::{check_report, run_suite, Profile, REPORT_PATH};
+
+    args.allow_only(&["profile", "out"]).map_err(|e| e.to_string())?;
+    let profile = Profile::from_arg(args.get("profile").unwrap_or("smoke"))?;
+    let path = args.get("out").unwrap_or(REPORT_PATH);
+    let report = run_suite(profile);
+    let doc = report.to_json();
+    let violations = check_report(&doc);
+    std::fs::write(path, doc.to_pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let mut out = String::new();
+    let idle = &report.idle;
+    let _ = writeln!(
+        out,
+        "idle fast-forward ({} stations, load {:.2}, {} slots): {:.1}x speedup, equivalent={}",
+        idle.stations,
+        idle.load,
+        idle.slots,
+        idle.speedup(),
+        idle.equivalent
+    );
+    for drain in &report.drains {
+        let _ = writeln!(
+            out,
+            "drain {:<14} z={:<3} load={:.1}: {:>10.0} Mtick/s  delivered {:>4}  completed={}",
+            drain.protocol,
+            drain.stations,
+            drain.load,
+            drain.sim_ticks as f64 * 1e3 / drain.wall_ns.max(1) as f64,
+            drain.delivered,
+            drain.completed
+        );
+    }
+    let _ = writeln!(
+        out,
+        "edf queue: {:.2} Mops/s over {} operations",
+        report.queue.operations as f64 * 1e3 / report.queue.wall_ns.max(1) as f64,
+        report.queue.operations
+    );
+    let _ = writeln!(out, "wrote {path}");
+    if violations.is_empty() {
+        let _ = writeln!(out, "perf gate: PASS");
+        Ok(out)
+    } else {
+        for violation in &violations {
+            let _ = writeln!(out, "perf gate: FAIL: {violation}");
+        }
+        Err(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +533,17 @@ mod tests {
         assert!(run_line(&[]).unwrap().contains("USAGE"));
         assert!(run_line(&["help"]).unwrap().contains("COMMANDS"));
         assert!(run_line(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn bench_engine_is_documented_and_validates_flags() {
+        assert!(usage().contains("bench-engine"));
+        // Flag validation happens before any measurement runs; the full
+        // suite itself is exercised by the `bench_engine` binary and CI.
+        let err = run_line(&["bench-engine", "--profile", "warp"]).unwrap_err();
+        assert!(err.contains("unknown profile"), "{err}");
+        let err = run_line(&["bench-engine", "--bogus", "1"]).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
     }
 
     #[test]

@@ -51,9 +51,19 @@ impl EdfQueue {
     }
 
     /// Inserts a message; the EDF order is maintained automatically.
+    ///
+    /// Stable upper-bound binary insert: existing elements compare `Less`
+    /// on key equality, so the search always lands *after* every equal key
+    /// and pushes with identical `(DM, arrival, id)` keep FIFO order.
     pub fn push(&mut self, message: Message) {
         let k = key(&message);
-        let pos = self.items.partition_point(|m| key(m) <= k);
+        let pos = self
+            .items
+            .binary_search_by(|m| match key(m).cmp(&k) {
+                std::cmp::Ordering::Equal => std::cmp::Ordering::Less,
+                other => other,
+            })
+            .unwrap_err();
         self.items.insert(pos, message);
     }
 
@@ -143,6 +153,21 @@ mod tests {
         q.push(msg(4, 10, 90)); // DM 100, arrived 10, lower id than 5
         let order: Vec<u64> = q.drain_sorted().iter().map(|m| m.id.0).collect();
         assert_eq!(order, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn fully_equal_keys_keep_fifo_push_order() {
+        // The ordering key is (DM, arrival, id); `bits` is outside it, so
+        // two messages can carry equal keys yet be distinguishable. The
+        // stable upper-bound insert must keep them in push order.
+        let mut q = EdfQueue::new();
+        for bits in [100u64, 200, 300] {
+            let mut m = msg(7, 10, 90);
+            m.bits = bits;
+            q.push(m);
+        }
+        let order: Vec<u64> = q.drain_sorted().iter().map(|m| m.bits).collect();
+        assert_eq!(order, vec![100, 200, 300]);
     }
 
     #[test]

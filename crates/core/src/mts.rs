@@ -136,6 +136,14 @@ impl MtsSearch {
         self.stack.is_empty()
     }
 
+    /// Whether the search is still in its initial state, no probe fed yet.
+    /// Every `feed` either marks an interval searched (empty / success /
+    /// leaf collision) or counts a collision slot (split), so these two
+    /// fields pin the fresh state exactly.
+    pub fn is_unprobed(&self) -> bool {
+        self.highest_searched.is_none() && self.collision_slots == 0
+    }
+
     /// `f*`: the highest leaf index fully searched so far, or `None` when
     /// no leaf has been passed yet (the paper's `f* = −1`).
     pub fn highest_searched(&self) -> Option<u64> {

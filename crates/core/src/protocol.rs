@@ -578,6 +578,60 @@ impl Station for DdcrStation {
         self.queue.len()
     }
 
+    fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+        if self.burst_reserved_for.is_some() || !self.queue.is_empty() {
+            return Some(now);
+        }
+        match self.phase {
+            // STs completion re-reads physical time (`reft := next_free`),
+            // so those slots must be stepped individually even when this
+            // station has nothing to send.
+            Phase::Sts { .. } => Some(now),
+            // The idle TTs/Attempt cycle is time-free under silence: the
+            // replicated automaton keeps turning, but its evolution depends
+            // only on slot *count*, which `skip_silence` replays exactly.
+            Phase::Tts(_) | Phase::Attempt => None,
+        }
+    }
+
+    fn skip_silence(&mut self, from: Ticks, slots: u64, slot: Ticks) {
+        // Only reachable with an empty queue and no burst reservation (see
+        // `next_ready`). Under silence the idle automaton cycles: fresh
+        // TTs, `m` empty probes, then — θ = 0 — one silent attempt slot,
+        // or — θ > 0 — straight into the next TTs with `reft += θ`. Replay
+        // slot by slot until a cycle start, apply whole cycles in O(1)
+        // arithmetic, then replay the tail.
+        fn at_cycle_start(s: &DdcrStation) -> bool {
+            matches!(&s.phase, Phase::Tts(state)
+                if !state.transmitted_any && state.search.is_unprobed())
+        }
+        let mut at = from;
+        let mut remaining = slots;
+        while remaining > 0 && !at_cycle_start(self) {
+            self.observe(at, at + slot, &Observation::Silence);
+            at += slot;
+            remaining -= 1;
+        }
+        let m = self.config.time_tree.branching();
+        let cycle = if self.config.theta_numerator == 0 { m + 1 } else { m };
+        let cycles = remaining / cycle;
+        if cycles > 0 {
+            // Per cycle: m empty probes, one empty-TTs completion, one
+            // fresh TTs start; the phase itself returns to the identical
+            // cycle-start state, so only counters and `reft` move.
+            self.counters.probe_empties += cycles * m;
+            self.counters.tts_empty_runs += cycles;
+            self.counters.tts_runs += cycles;
+            self.reft += self.config.theta() * cycles;
+            at += slot * (cycles * cycle);
+            remaining -= cycles * cycle;
+        }
+        for _ in 0..remaining {
+            self.observe(at, at + slot, &Observation::Silence);
+            at += slot;
+        }
+    }
+
     fn label(&self) -> String {
         format!("ddcr:{}", self.source)
     }
@@ -843,6 +897,94 @@ mod tests {
             now = next_free;
         }
         assert!(stations.iter().all(|s| s.backlog() == 0));
+    }
+
+    /// Replays `slots` silence observations one by one (the reference
+    /// semantics `skip_silence` must match).
+    fn replay_silence(station: &mut DdcrStation, from: Ticks, slots: u64, slot: Ticks) {
+        for i in 0..slots {
+            let at = from + slot * i;
+            station.observe(at, at + slot, &Observation::Silence);
+        }
+    }
+
+    fn full_digest(s: &DdcrStation) -> (String, ProtocolCounters, Ticks) {
+        (s.shared_state_digest(), s.counters(), s.reft())
+    }
+
+    #[test]
+    fn skip_silence_matches_replay_exactly() {
+        let slot = Ticks(512);
+        for theta in [0u64, 2] {
+            let cfg = DdcrConfig::for_sources(4, Ticks(100_000))
+                .unwrap()
+                .with_compressed_time(theta);
+            let allocation = StaticAllocation::one_per_source(cfg.static_tree, 4).unwrap();
+            let fresh =
+                || DdcrStation::new(SourceId(0), cfg, allocation.clone(), 208).unwrap();
+            // Every (prefix, skipped) alignment across several idle cycles:
+            // the station starts mid-cycle after `prefix` replayed slots,
+            // then bulk-skips `skipped` more.
+            for prefix in 0..8u64 {
+                for skipped in 0..40u64 {
+                    let mut reference = fresh();
+                    let mut skipping = fresh();
+                    replay_silence(&mut reference, Ticks::ZERO, prefix, slot);
+                    replay_silence(&mut skipping, Ticks::ZERO, prefix, slot);
+                    let from = Ticks(slot.as_u64() * prefix);
+                    replay_silence(&mut reference, from, skipped, slot);
+                    skipping.skip_silence(from, skipped, slot);
+                    assert_eq!(
+                        full_digest(&reference),
+                        full_digest(&skipping),
+                        "theta={theta} prefix={prefix} skipped={skipped}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_station_reports_no_wakeup() {
+        let station =
+            DdcrStation::new(SourceId(0), config(),
+                StaticAllocation::one_per_source(config().static_tree, 4).unwrap(), 208)
+                .unwrap();
+        assert_eq!(station.next_ready(Ticks(0)), None);
+    }
+
+    #[test]
+    fn loaded_station_reports_ready_now() {
+        let mut station =
+            DdcrStation::new(SourceId(0), config(),
+                StaticAllocation::one_per_source(config().static_tree, 4).unwrap(), 208)
+                .unwrap();
+        station.deliver(msg(0, 0, 0, 500_000));
+        assert_eq!(station.next_ready(Ticks(0)), Some(Ticks(0)));
+    }
+
+    #[test]
+    fn idle_network_fast_forward_matches_reference() {
+        let run = |fast: bool, theta: u64| {
+            let cfg = DdcrConfig::for_sources(4, Ticks(100_000))
+                .unwrap()
+                .with_compressed_time(theta);
+            let mut engine = network(4, cfg, MediumConfig::ethernet());
+            engine.set_fast_forward(fast);
+            // Long idle stretch, then traffic that depends on the idle-era
+            // protocol state (reft under compressed time), then more idle.
+            engine
+                .add_arrivals([
+                    msg(0, 1, 3_000_000, 500_000),
+                    msg(1, 2, 3_000_000, 500_000),
+                ])
+                .unwrap();
+            engine.run_until(Ticks(6_000_000));
+            engine.into_stats()
+        };
+        for theta in [0u64, 2] {
+            assert_eq!(run(true, theta), run(false, theta), "theta={theta}");
+        }
     }
 
     #[test]

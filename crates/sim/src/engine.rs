@@ -72,11 +72,25 @@ pub struct Engine {
     medium: MediumConfig,
     stations: Vec<Box<dyn Station>>,
     /// Future arrivals, sorted descending by (time, id) so `pop` yields the
-    /// earliest.
+    /// earliest. Kept unsorted between [`Engine::add_arrivals`] batches and
+    /// sorted once on first use (see `pending_dirty`).
     pending: Vec<Message>,
+    /// Whether `pending` needs a sort before the next ordered access.
+    pending_dirty: bool,
     now: Ticks,
     stats: ChannelStats,
     trace: Trace,
+    /// Scratch buffer for this slot's transmitters, reused across slots so
+    /// the hot loop allocates nothing.
+    transmitters: Vec<(usize, Frame)>,
+    /// Cached `stations backlog + pending` total; valid when not stale.
+    /// Silence slots cannot change any queue, so the cache only goes stale
+    /// on delivered arrivals and busy/collision slots.
+    backlog_cache: usize,
+    backlog_stale: bool,
+    /// Idle fast-forward (on by default). Disable to force the reference
+    /// slot-by-slot stepper, e.g. for equivalence tests.
+    fast_forward: bool,
 }
 
 impl std::fmt::Debug for Engine {
@@ -103,9 +117,14 @@ impl Engine {
             medium,
             stations: Vec::new(),
             pending: Vec::new(),
+            pending_dirty: false,
             now: Ticks::ZERO,
             stats: ChannelStats::default(),
             trace: Trace::default(),
+            transmitters: Vec::new(),
+            backlog_cache: 0,
+            backlog_stale: true,
+            fast_forward: true,
         })
     }
 
@@ -113,12 +132,25 @@ impl Engine {
     /// must match the `SourceId`s used in the workload.
     pub fn add_station(&mut self, station: Box<dyn Station>) -> &mut Self {
         self.stations.push(station);
+        self.backlog_stale = true;
         self
     }
 
     /// Enables channel tracing.
     pub fn set_trace(&mut self, trace: Trace) -> &mut Self {
         self.trace = trace;
+        self
+    }
+
+    /// Enables or disables idle fast-forward (on by default).
+    ///
+    /// With fast-forward off the engine is the naive reference stepper:
+    /// every decision slot is polled and observed individually. The two
+    /// modes are bitwise equivalent — identical traces, statistics, and
+    /// delivery schedules — which the equivalence test suite asserts; the
+    /// switch exists for those tests and for benchmarking the speedup.
+    pub fn set_fast_forward(&mut self, enabled: bool) -> &mut Self {
+        self.fast_forward = enabled;
         self
     }
 
@@ -139,12 +171,32 @@ impl Engine {
                     stations: self.stations.len(),
                 });
             }
+            // `pending` is kept descending by (arrival, id); a message that
+            // extends the tail keeps it sorted, anything else defers one
+            // sort to the next ordered access instead of re-sorting the
+            // whole vector on every batch.
+            if !self.pending_dirty {
+                if let Some(last) = self.pending.last() {
+                    if (msg.arrival, msg.id) > (last.arrival, last.id) {
+                        self.pending_dirty = true;
+                    }
+                }
+            }
             self.pending.push(msg);
+            self.backlog_stale = true;
         }
-        // Descending, so the earliest (smallest) arrival is at the end.
-        self.pending
-            .sort_by_key(|m| std::cmp::Reverse((m.arrival, m.id)));
         Ok(self)
+    }
+
+    /// Restores the descending (arrival, id) order of `pending` if batches
+    /// were appended out of order. Keys are unique (message ids are), so
+    /// the resulting order is identical to eager per-batch sorting.
+    fn ensure_pending_sorted(&mut self) {
+        if self.pending_dirty {
+            self.pending
+                .sort_by_key(|m| std::cmp::Reverse((m.arrival, m.id)));
+            self.pending_dirty = false;
+        }
     }
 
     /// Current simulation time.
@@ -174,10 +226,22 @@ impl Engine {
         self.stations.iter().map(|s| s.backlog()).sum::<usize>() + self.pending.len()
     }
 
+    /// Cached backlog total, re-summed only when a queue may have changed
+    /// (an arrival was delivered, or a busy/collision slot was observed).
+    /// Silence slots leave every queue untouched, so long idle stretches
+    /// cost no per-slot O(stations) summation.
+    fn tracked_backlog(&mut self) -> usize {
+        if self.backlog_stale {
+            self.backlog_cache = self.backlog();
+            self.backlog_stale = false;
+        }
+        self.backlog_cache
+    }
+
     /// Runs until `deadline` (inclusive of the slot straddling it).
     pub fn run_until(&mut self, deadline: Ticks) {
         while self.now < deadline {
-            self.step();
+            self.advance(deadline);
         }
         self.stats.total_ticks = self.now;
     }
@@ -189,15 +253,19 @@ impl Engine {
     ///
     /// Returns [`SimError::Timeout`] if the budget is exhausted first.
     pub fn run_to_completion(&mut self, max: Ticks) -> Result<(), SimError> {
-        while self.backlog() > 0 {
+        // One backlog computation per loop iteration; the cached total is
+        // only re-summed after slots that can change a queue.
+        let mut backlog = self.tracked_backlog();
+        while backlog > 0 {
             if self.now >= max {
                 self.stats.total_ticks = self.now;
                 return Err(SimError::Timeout {
                     at: self.now,
-                    backlog: self.backlog(),
+                    backlog,
                 });
             }
-            self.step();
+            self.advance(max);
+            backlog = self.tracked_backlog();
         }
         self.stats.total_ticks = self.now;
         Ok(())
@@ -209,10 +277,73 @@ impl Engine {
         self.stats
     }
 
-    /// Executes one decision slot.
+    /// Advances the simulation: a fast-forwarded silence run when every
+    /// station permits it, one reference slot otherwise. `limit` bounds the
+    /// jump exactly where the slot-by-slot loop would stop stepping.
+    fn advance(&mut self, limit: Ticks) {
+        if self.fast_forward {
+            self.deliver_due();
+            if let Some(slots) = self.skippable_slots(limit) {
+                self.fast_forward_silence(slots);
+                return;
+            }
+        }
+        self.step();
+    }
+
+    /// How many guaranteed-silent slots can be jumped from `now`, if any.
+    ///
+    /// Call only after [`Engine::deliver_due`]. Combines every station's
+    /// [`Station::next_ready`] hint with the earliest pending arrival: the
+    /// first decision slot that could be non-silent (or could deliver an
+    /// arrival) is the first slot boundary at or after that horizon, so
+    /// every slot before it is provably silent. With no horizon at all the
+    /// jump runs straight to `limit`, exactly like the naive stepper would.
+    fn skippable_slots(&mut self, limit: Ticks) -> Option<u64> {
+        // Earliest time any station may act (None = never).
+        let mut horizon: Option<Ticks> = None;
+        for station in &self.stations {
+            match station.next_ready(self.now) {
+                Some(t) if t <= self.now => return None,
+                Some(t) => horizon = Some(horizon.map_or(t, |h| h.min(t))),
+                None => {}
+            }
+        }
+        if let Some(next) = self.pending.last() {
+            // deliver_due just ran, so the earliest arrival is in the
+            // future; the slot that starts at or after it must be stepped.
+            horizon = Some(horizon.map_or(next.arrival, |h| h.min(next.arrival)));
+        }
+        let target = horizon.map_or(limit, |h| h.min(limit));
+        let span = target.saturating_sub(self.now);
+        let slots = span.div_ceil_slots(Ticks(self.medium.slot_ticks));
+        (slots > 0).then_some(slots)
+    }
+
+    /// Accounts `slots` silent decision slots in one jump: identical stats
+    /// and trace as stepping them, with stations catching up through
+    /// [`Station::skip_silence`] instead of per-slot polls and observes.
+    fn fast_forward_silence(&mut self, slots: u64) {
+        let slot = Ticks(self.medium.slot_ticks);
+        self.stats.silence_slots += slots;
+        if self.trace.is_enabled() {
+            for i in 0..slots {
+                self.trace.record(TraceEvent::Silence {
+                    at: self.now + slot * i,
+                });
+            }
+        }
+        for station in &mut self.stations {
+            station.skip_silence(self.now, slots, slot);
+        }
+        self.now += slot * slots;
+    }
+
+    /// Executes one decision slot (the reference stepper).
     fn step(&mut self) {
         self.deliver_due();
-        let mut transmitters: Vec<(usize, Frame)> = Vec::new();
+        let mut transmitters = std::mem::take(&mut self.transmitters);
+        transmitters.clear();
         for (idx, station) in self.stations.iter_mut().enumerate() {
             if let Action::Transmit(frame) = station.poll(self.now) {
                 transmitters.push((idx, frame));
@@ -243,6 +374,7 @@ impl Engine {
                 }
             },
         };
+        self.transmitters = transmitters;
         let next_free = self.now + advance;
         self.account(&observation, next_free);
         for station in &mut self.stations {
@@ -253,6 +385,11 @@ impl Engine {
 
     /// Updates stats and trace for one resolved slot.
     fn account(&mut self, observation: &Observation, next_free: Ticks) {
+        if !matches!(observation, Observation::Silence) {
+            // Busy/collision slots may dequeue (or, for CSMA-CD's attempt
+            // cap, drop) frames inside `observe`; re-sum lazily.
+            self.backlog_stale = true;
+        }
         match observation {
             Observation::Silence => {
                 self.stats.silence_slots += 1;
@@ -296,12 +433,14 @@ impl Engine {
 
     /// Hands every arrival with `T ≤ now` to its station.
     fn deliver_due(&mut self) {
+        self.ensure_pending_sorted();
         while let Some(msg) = self.pending.last() {
             if msg.arrival > self.now {
                 break;
             }
             let msg = self.pending.pop().expect("checked non-empty");
             self.stations[msg.source.0 as usize].deliver(msg);
+            self.backlog_stale = true;
         }
     }
 }
@@ -421,6 +560,131 @@ mod tests {
         assert_eq!(e.stats().total_ticks, e.now());
         let stats = e.into_stats();
         assert!(stats.total_ticks > Ticks::ZERO);
+    }
+
+    /// A greedy transmitter that additionally implements the fast-forward
+    /// contract: idle (and provably silent) whenever its queue is empty.
+    struct SleepyStation {
+        inner: GreedyStation,
+        skipped_slots: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl SleepyStation {
+        fn new() -> Self {
+            SleepyStation {
+                inner: GreedyStation::new(MediumConfig::ethernet().overhead_bits),
+                skipped_slots: std::rc::Rc::default(),
+            }
+        }
+    }
+
+    impl Station for SleepyStation {
+        fn deliver(&mut self, message: Message) {
+            self.inner.deliver(message);
+        }
+        fn poll(&mut self, now: Ticks) -> Action {
+            self.inner.poll(now)
+        }
+        fn observe(&mut self, now: Ticks, next_free: Ticks, observation: &Observation) {
+            self.inner.observe(now, next_free, observation);
+        }
+        fn backlog(&self) -> usize {
+            self.inner.backlog()
+        }
+        fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+            if self.inner.queue.is_empty() {
+                None
+            } else {
+                Some(now)
+            }
+        }
+        fn skip_silence(&mut self, _from: Ticks, slots: u64, _slot: Ticks) {
+            self.skipped_slots.set(self.skipped_slots.get() + slots);
+        }
+    }
+
+    #[test]
+    fn fast_forward_jumps_idle_run_with_exact_stats() {
+        let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+        e.add_station(Box::new(SleepyStation::new()));
+        e.set_trace(Trace::enabled());
+        e.run_until(Ticks(512 * 100));
+        assert_eq!(e.now(), Ticks(512 * 100));
+        assert_eq!(e.stats().silence_slots, 100);
+        assert_eq!(e.trace().events().len(), 100);
+        for (i, ev) in e.trace().events().iter().enumerate() {
+            assert_eq!(*ev, TraceEvent::Silence { at: Ticks(512 * i as u64) });
+        }
+    }
+
+    #[test]
+    fn fast_forward_lands_on_slot_covering_unaligned_deadline() {
+        // The naive stepper exits run_until once `now >= deadline`, i.e. on
+        // the first slot boundary at or past it; the jump must match.
+        let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+        e.add_station(Box::new(SleepyStation::new()));
+        e.run_until(Ticks(5000));
+        assert_eq!(e.now(), Ticks(5120));
+        assert_eq!(e.stats().silence_slots, 10);
+    }
+
+    #[test]
+    fn fast_forward_wakes_for_future_arrival() {
+        let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+        e.add_station(Box::new(SleepyStation::new()));
+        // Arrival mid-slot: slots [0, 9728) are silent, delivery happens at
+        // the slot starting 9728 (the first boundary past 9700).
+        e.add_arrivals([msg(0, 0, 9700)]).unwrap();
+        e.run_to_completion(Ticks(1_000_000)).unwrap();
+        assert_eq!(e.stats().silence_slots, 19);
+        assert_eq!(e.stats().deliveries.len(), 1);
+        assert_eq!(e.stats().deliveries[0].completed_at, Ticks(9728 + 1208));
+    }
+
+    #[test]
+    fn fast_forward_matches_reference_stepper() {
+        let build = |fast: bool| {
+            let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+            e.set_fast_forward(fast);
+            e.set_trace(Trace::enabled());
+            for _ in 0..3 {
+                e.add_station(Box::new(SleepyStation::new()));
+            }
+            // Staggered so the greedy (never backing off) stations do not
+            // collide forever; collision equivalence is covered by the
+            // protocol-level proptest suite.
+            e.add_arrivals([msg(0, 0, 300), msg(1, 1, 40_000), msg(2, 2, 80_000)])
+                .unwrap();
+            e.run_to_completion(Ticks(10_000_000)).unwrap();
+            e
+        };
+        let fast = build(true);
+        let reference = build(false);
+        assert_eq!(fast.now(), reference.now());
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.trace().events(), reference.trace().events());
+        // The fast engine really did skip: its stations saw bulk silence.
+        assert!(fast.stats().silence_slots > 0);
+    }
+
+    #[test]
+    fn skip_silence_called_instead_of_per_slot_observe() {
+        let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+        let station = SleepyStation::new();
+        let skipped = station.skipped_slots.clone();
+        e.add_station(Box::new(station));
+        e.run_until(Ticks(512 * 64));
+        assert_eq!(skipped.get(), 64);
+    }
+
+    #[test]
+    fn out_of_order_batches_still_deliver_in_time_order() {
+        let mut e = engine_with_stations(1);
+        e.add_arrivals([msg(2, 0, 4000)]).unwrap();
+        e.add_arrivals([msg(1, 0, 2000), msg(0, 0, 0)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        let ids: Vec<u64> = e.stats().deliveries.iter().map(|d| d.message.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]

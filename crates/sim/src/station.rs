@@ -18,7 +18,9 @@ use crate::time::Ticks;
 /// Implementations must be deterministic functions of their inputs (plus
 /// any seeded RNG they own) so that simulations are reproducible.
 pub trait Station {
-    /// Accepts a newly arrived message into the local queue.
+    /// Accepts a newly arrived message into the local queue. Implementations
+    /// must enqueue the message (never drop it on arrival) so the engine's
+    /// backlog accounting stays exact.
     fn deliver(&mut self, message: Message);
 
     /// Decides the action for the decision slot starting at `now`.
@@ -33,6 +35,48 @@ pub trait Station {
     /// Number of messages still queued locally (for run-to-completion
     /// termination checks).
     fn backlog(&self) -> usize;
+
+    /// Idle fast-forward hint: the earliest slot-start time at or after
+    /// which this station might transmit (or otherwise needs per-slot
+    /// engagement), assuming the channel stays silent until then.
+    ///
+    /// The engine uses the hint to jump silence runs in one step instead of
+    /// polling every station every slot. The contract:
+    ///
+    /// * `Some(t)` with `t <= now` — no promise; the engine polls this slot
+    ///   normally (the conservative default).
+    /// * `Some(t)` with `t > now` — the station guarantees it polls
+    ///   [`Action::Idle`] at every decision slot starting before `t`,
+    ///   provided the channel stays silent over that span.
+    /// * `None` — the station stays idle indefinitely (until a new message
+    ///   is [`Station::deliver`]ed to it).
+    ///
+    /// When the engine skips a silence run it does **not** call
+    /// [`Station::observe`] for the skipped slots; it calls
+    /// [`Station::skip_silence`] once instead, and that call must leave the
+    /// station in exactly the state the per-slot silence observations would
+    /// have. The default is `Some(now)`: fully backward compatible, never
+    /// skipped.
+    fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+        Some(now)
+    }
+
+    /// Absorbs a fast-forwarded run of `slots` silent decision slots, the
+    /// first starting at `from`, each `slot` ticks wide.
+    ///
+    /// Called by the engine instead of per-slot [`Station::observe`] when a
+    /// silence run is skipped (see [`Station::next_ready`]). Must be
+    /// behaviourally identical to observing `slots` consecutive
+    /// [`Observation::Silence`] outcomes; in particular it must not change
+    /// the station's [`Station::backlog`]. The default replays the silence
+    /// observations one by one — correct for every implementation, O(1)
+    /// overrides are an optimisation.
+    fn skip_silence(&mut self, from: Ticks, slots: u64, slot: Ticks) {
+        for i in 0..slots {
+            let at = from + slot * i;
+            self.observe(at, at + slot, &Observation::Silence);
+        }
+    }
 
     /// A short label for traces and error messages.
     fn label(&self) -> String {

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// Utilization and overhead follow the paper's accounting: successful
 /// transmission time is useful work; collision slots and silence slots are
 /// overhead (the quantity `ξ` bounds); the channel is otherwise idle.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelStats {
     /// Slots in which no station transmitted.
     pub silence_slots: u64,

@@ -80,11 +80,13 @@ impl Trace {
     }
 
     /// Whether recording is on.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
     /// Records an event (no-op when disabled).
+    #[inline]
     pub fn record(&mut self, event: TraceEvent) {
         if !self.enabled {
             return;

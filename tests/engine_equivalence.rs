@@ -1,0 +1,184 @@
+//! Fast-forward equivalence: the optimized engine (idle fast-forward on,
+//! the default) and the retained reference stepper
+//! ([`Engine::set_fast_forward`]`(false)`) must be bitwise
+//! indistinguishable — identical channel traces, statistics, delivery
+//! schedules, final clocks, and timeout outcomes — across every protocol,
+//! random workload, and collision mode.
+
+use ddcr_baseline::{CsmaCdStation, DcrStation, NpEdfOracle, QueueDiscipline};
+use ddcr_core::{DdcrConfig, DdcrStation, StaticAllocation};
+use ddcr_sim::{
+    ClassId, CollisionMode, Engine, MediumConfig, Message, MessageId, SimError, SourceId,
+    Ticks, Trace, TraceEvent,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Proto {
+    Ddcr { theta: u64 },
+    CsmaCd { seed: u64 },
+    Dcr,
+    NpEdf,
+}
+
+fn build_engine(proto: Proto, z: u32, medium: MediumConfig, fast: bool) -> Engine {
+    let mut engine = Engine::new(medium).unwrap();
+    engine.set_fast_forward(fast);
+    engine.set_trace(Trace::enabled());
+    match proto {
+        Proto::Ddcr { theta } => {
+            let config = DdcrConfig::for_sources(z, Ticks(100_000))
+                .unwrap()
+                .with_compressed_time(theta);
+            let allocation =
+                StaticAllocation::one_per_source(config.static_tree, z).unwrap();
+            for i in 0..z {
+                engine.add_station(Box::new(
+                    DdcrStation::new(
+                        SourceId(i),
+                        config,
+                        allocation.clone(),
+                        medium.overhead_bits,
+                    )
+                    .unwrap(),
+                ));
+            }
+        }
+        Proto::CsmaCd { seed } => {
+            for i in 0..z {
+                engine.add_station(Box::new(CsmaCdStation::new(
+                    SourceId(i),
+                    medium,
+                    QueueDiscipline::Fifo,
+                    seed,
+                )));
+            }
+        }
+        Proto::Dcr => {
+            for i in 0..z {
+                engine.add_station(Box::new(
+                    DcrStation::new(SourceId(i), z, medium, QueueDiscipline::Fifo).unwrap(),
+                ));
+            }
+        }
+        Proto::NpEdf => {
+            engine.add_station(Box::new(NpEdfOracle::new(medium)));
+        }
+    }
+    engine
+}
+
+/// Everything observable about one run, for exact comparison.
+#[derive(Debug, PartialEq)]
+struct RunDigest {
+    outcome: Option<Result<(), SimError>>,
+    now: Ticks,
+    events: Vec<TraceEvent>,
+    stats: ddcr_sim::ChannelStats,
+}
+
+fn run_once(
+    proto: Proto,
+    z: u32,
+    medium: MediumConfig,
+    arrivals: &[Message],
+    to_completion: bool,
+    fast: bool,
+) -> RunDigest {
+    let mut engine = build_engine(proto, z, medium, fast);
+    engine.add_arrivals(arrivals.iter().copied()).unwrap();
+    let outcome = if to_completion {
+        Some(engine.run_to_completion(Ticks(60_000_000)))
+    } else {
+        engine.run_until(Ticks(20_000_000));
+        None
+    };
+    RunDigest {
+        outcome,
+        now: engine.now(),
+        events: engine.trace().events().to_vec(),
+        stats: engine.into_stats(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The central equivalence property: same protocol, same workload, same
+    /// medium ⇒ the fast-forwarding engine and the reference stepper agree
+    /// on every observable (trace event list, statistics including
+    /// per-delivery completion times, final clock, timeout outcome).
+    #[test]
+    fn optimized_engine_matches_reference(
+        z in 2u32..6,
+        // (source, inter-arrival gap, deadline) triples; the gaps create
+        // the idle stretches the fast-forward path exists for.
+        raw in prop::collection::vec(
+            (0u32..8, 0u64..600_000, 300_000u64..9_000_000),
+            0..20,
+        ),
+        proto_pick in 0usize..5,
+        arbitrating in any::<bool>(),
+        to_completion in any::<bool>(),
+    ) {
+        let proto = match proto_pick {
+            0 => Proto::Ddcr { theta: 0 },
+            1 => Proto::Ddcr { theta: 2 },
+            2 => Proto::CsmaCd { seed: 7 },
+            3 => Proto::Dcr,
+            _ => Proto::NpEdf,
+        };
+        let z = if matches!(proto, Proto::NpEdf) { 1 } else { z };
+        let mut medium = MediumConfig::ethernet();
+        medium.collision_mode = if arbitrating {
+            CollisionMode::Arbitrating
+        } else {
+            CollisionMode::Destructive
+        };
+        let mut at = 0u64;
+        let arrivals: Vec<Message> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(source, gap, deadline))| {
+                at += gap;
+                Message {
+                    id: MessageId(i as u64),
+                    source: SourceId(source % z),
+                    class: ClassId(0),
+                    bits: 4_000,
+                    arrival: Ticks(at),
+                    deadline: Ticks(deadline),
+                }
+            })
+            .collect();
+        let fast = run_once(proto, z, medium, &arrivals, to_completion, true);
+        let reference = run_once(proto, z, medium, &arrivals, to_completion, false);
+        prop_assert_eq!(&fast, &reference);
+    }
+}
+
+/// Idle-heavy deterministic spot check at a production-ish scale: 32 DDCR
+/// stations, a handful of widely separated arrivals, a long horizon — the
+/// exact shape the perf gate benchmarks — must agree event for event.
+#[test]
+fn idle_heavy_32_station_network_is_bitwise_equivalent() {
+    let medium = MediumConfig::ethernet();
+    let arrivals: Vec<Message> = (0..6u64)
+        .map(|i| Message {
+            id: MessageId(i),
+            source: SourceId((i * 5 % 32) as u32),
+            class: ClassId(0),
+            bits: 8_000,
+            arrival: Ticks(i * 7_000_000),
+            deadline: Ticks(2_000_000),
+        })
+        .collect();
+    for theta in [0u64, 2] {
+        let proto = Proto::Ddcr { theta };
+        let fast = run_once(proto, 32, medium, &arrivals, false, true);
+        let reference = run_once(proto, 32, medium, &arrivals, false, false);
+        assert_eq!(fast, reference, "theta={theta}");
+        // The run really was idle-dominated — the fast path had work to do.
+        assert!(fast.stats.silence_slots > 10_000);
+    }
+}
