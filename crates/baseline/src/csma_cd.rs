@@ -93,6 +93,25 @@ impl CsmaCdStation {
     pub fn counters(&self) -> CsmaCdCounters {
         self.counters
     }
+
+    /// The transmitter side of a failed slot (collision, or an erased
+    /// frame — indistinguishable to the MAC): bump the attempt counter and
+    /// back off, or discard after `attemptLimit`.
+    fn on_failed_attempt(&mut self) {
+        self.counters.collisions += 1;
+        self.attempts += 1;
+        if self.attempts >= ATTEMPT_LIMIT {
+            // excessiveCollisionError: discard the frame.
+            self.queue.pop();
+            self.counters.drops += 1;
+            self.attempts = 0;
+            self.backoff = 0;
+        } else {
+            let exp = self.attempts.min(BACKOFF_LIMIT);
+            let window = (1u64 << exp) - 1;
+            self.backoff = self.rng.gen_range(0..=window);
+        }
+    }
 }
 
 impl Station for CsmaCdStation {
@@ -139,19 +158,15 @@ impl Station for CsmaCdStation {
                     }
                 }
                 if self.transmitting {
-                    self.counters.collisions += 1;
-                    self.attempts += 1;
-                    if self.attempts >= ATTEMPT_LIMIT {
-                        // excessiveCollisionError: discard the frame.
-                        self.queue.pop();
-                        self.counters.drops += 1;
-                        self.attempts = 0;
-                        self.backoff = 0;
-                    } else {
-                        let exp = self.attempts.min(BACKOFF_LIMIT);
-                        let window = (1u64 << exp) - 1;
-                        self.backoff = self.rng.gen_range(0..=window);
-                    }
+                    self.on_failed_attempt();
+                }
+            }
+            Observation::Garbled => {
+                // The frame was erased on the wire; loss detection is
+                // symmetric, so the transmitter reacts exactly as it would
+                // to a collision and retries through backoff.
+                if self.transmitting {
+                    self.on_failed_attempt();
                 }
             }
             Observation::Silence => {}

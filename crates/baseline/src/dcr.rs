@@ -186,6 +186,9 @@ impl Station for DcrStation {
             Observation::Silence => (SlotOutcome::Empty, None),
             Observation::Busy(f) => (SlotOutcome::Success, Some(*f)),
             Observation::Collision { survivor } => (SlotOutcome::Collision, *survivor),
+            // An erased frame is indistinguishable from a collision:
+            // channel held, nothing decoded, transmitter retries.
+            Observation::Garbled => (SlotOutcome::Collision, None),
         };
         if let Some(frame) = success_frame {
             self.note_success(&frame);
@@ -205,10 +208,19 @@ impl Station for DcrStation {
                 self.counters.probe_slots += 1;
                 match search.feed(outcome) {
                     MtsEvent::Continue => self.phase = Phase::Resolving(search),
-                    MtsEvent::LeafCollision { leaf } => {
-                        unreachable!(
-                            "DCR leaf {leaf} collision: one station per leaf by construction"
-                        )
+                    MtsEvent::LeafCollision { .. } => {
+                        // A conforming network cannot collide on a
+                        // single-owner leaf, but an injected channel fault
+                        // (corrupted slot) reads as one. The probe already
+                        // consumed the leaf; the owner keeps its message
+                        // and retries after the epoch, so resolution stays
+                        // live instead of panicking on interference.
+                        if search.is_done() {
+                            self.active_in_epoch = false;
+                            self.phase = Phase::Normal;
+                        } else {
+                            self.phase = Phase::Resolving(search);
+                        }
                     }
                     MtsEvent::Done => {
                         self.active_in_epoch = false;

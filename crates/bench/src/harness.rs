@@ -100,7 +100,10 @@ impl RunSummary {
             },
             mean_latency: stats.mean_latency(),
             max_latency: stats.max_latency().as_u64(),
-            p99_latency: stats.latency_quantile(0.99).as_u64(),
+            p99_latency: stats
+                .latency_quantile(0.99)
+                .expect("0.99 is in range")
+                .as_u64(),
             utilization: stats.utilization(),
             collisions: stats.collisions,
             total_ticks: stats.total_ticks.as_u64(),

@@ -12,11 +12,26 @@
 //! * **Causality** — no delivery completes before `arrival + wire time`;
 //! * **EDF emulation** — when all messages arrive simultaneously from
 //!   distinct sources with absolute deadlines separated by at least two
-//!   deadline classes, delivery order is exactly EDF order.
+//!   deadline classes, delivery order is exactly EDF order (checked under
+//!   destructive collisions only: arbitration lets a lower-numbered source
+//!   win a slot it would destructively have lost, a bounded priority
+//!   inversion the strict check does not model).
+//!
+//! The fault-aware entry points ([`check_scope_with_faults`]) re-run the
+//! same replicas under an injected [`FaultPlan`] and check the weakened
+//! properties that survive faults: safety always (no duplicate, invented,
+//! or causality-violating delivery; lost messages stay lost), replica
+//! divergence only for crashed/resyncing stations, and bounded healing —
+//! a restarted station that observes a post-restart epoch anchor must
+//! resynchronize in that very slot.
 
 use crate::scope::Scope;
 use ddcr_core::{DdcrConfig, DdcrStation, StaticAllocation};
-use ddcr_sim::{Action, Frame, MediumConfig, Message, MessageId, Observation, Station, Ticks};
+use ddcr_sim::rng::{derive_seed, fault_seed};
+use ddcr_sim::{
+    Action, CollisionMode, FaultEvent, FaultKind, FaultPlan, Frame, MediumConfig, Message,
+    MessageId, Observation, Station, Ticks,
+};
 
 /// A property violated by a scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,7 +47,9 @@ pub enum Violation {
         /// The offending message.
         id: MessageId,
     },
-    /// Two replicas disagreed on shared protocol state.
+    /// Two replicas disagreed on shared protocol state. Under faults this
+    /// covers only stations claiming to be synchronized — crashed and
+    /// resyncing replicas are allowed (expected) to lag.
     ReplicaDivergence {
         /// Slot ordinal of the divergence.
         step: u64,
@@ -49,6 +66,19 @@ pub enum Violation {
         got: Vec<u64>,
         /// EDF order (message ids).
         expected: Vec<u64>,
+    },
+    /// A restarted station observed a frame stamped with a post-restart
+    /// epoch — a valid resynchronization anchor — yet stayed unsynced.
+    UnhealedRestart {
+        /// The station that failed to heal.
+        station: u32,
+        /// Slot ordinal of the missed anchor.
+        step: u64,
+    },
+    /// A message recorded as lost in a station crash was delivered anyway.
+    LostMessageDelivered {
+        /// The offending message.
+        id: MessageId,
     },
 }
 
@@ -80,25 +110,74 @@ impl CheckReport {
     }
 }
 
+/// Aggregate result of checking a whole scope under injected faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultCheckReport {
+    /// Scenarios enumerated.
+    pub scenarios: usize,
+    /// All violations found, in enumeration order.
+    pub findings: Vec<Finding>,
+    /// Crash events injected across all scenarios.
+    pub crashes: u64,
+    /// Restarted stations that resynchronized.
+    pub rejoins: u64,
+    /// Worst observed heal time: decision slots from restart to rejoin.
+    pub max_heal_slots: u64,
+    /// Scenarios that timed out under faults but verify cleanly without
+    /// them — the timeout is attributable to the injected faults (e.g. a
+    /// resyncing station whose backlog cannot drain because the channel
+    /// stays silent, so no epoch anchor ever arrives), not a protocol bug.
+    pub attributable_timeouts: usize,
+}
+
+impl FaultCheckReport {
+    /// Whether the scope verified cleanly under the fault plans.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
 /// The checker's protocol parameters (kept small so searches stay short).
-fn config(z: u32) -> (DdcrConfig, StaticAllocation, MediumConfig) {
-    let medium = MediumConfig::ethernet();
+fn config(z: u32, mode: CollisionMode) -> (DdcrConfig, StaticAllocation, MediumConfig) {
+    let medium = MediumConfig {
+        collision_mode: mode,
+        ..MediumConfig::ethernet()
+    };
     let config = DdcrConfig::for_sources(z, Ticks(100_000)).expect("checker config");
     let allocation =
         StaticAllocation::one_per_source(config.static_tree, z).expect("checker allocation");
     (config, allocation, medium)
 }
 
-/// Exhaustively checks every scenario in the scope.
+/// Earliest instant a delivery of `m` can physically complete: arrival
+/// plus the Ph-PDU wire time `l'(m)` — routed through
+/// [`MediumConfig::wire_bits`] so the checker can never drift from the
+/// engine's framing-overhead accounting.
+fn causality_bound(medium: &MediumConfig, m: &Message) -> Ticks {
+    m.arrival + Ticks(medium.wire_bits(m.bits))
+}
+
+/// Exhaustively checks every scenario in the scope under destructive
+/// (Ethernet) collision semantics.
 ///
 /// `slot_budget` bounds each scenario's length (a conforming network
 /// drains the small scopes within a few hundred slots; the budget exists
 /// to convert a liveness bug into a finding rather than a hang).
 pub fn check_scope(scope: &Scope, slot_budget: u64) -> CheckReport {
+    check_scope_with_mode(scope, slot_budget, CollisionMode::Destructive)
+}
+
+/// Exhaustively checks every scenario in the scope under the given
+/// collision semantics.
+pub fn check_scope_with_mode(
+    scope: &Scope,
+    slot_budget: u64,
+    mode: CollisionMode,
+) -> CheckReport {
     let mut report = CheckReport::default();
     for (index, scenario) in scope.scenarios().enumerate() {
         report.scenarios += 1;
-        check_scenario(scope.stations, index, &scenario, slot_budget, &mut report);
+        check_scenario(scope.stations, index, &scenario, slot_budget, mode, &mut report);
     }
     report
 }
@@ -110,9 +189,10 @@ pub fn check_scenario(
     index: usize,
     scenario: &[Message],
     slot_budget: u64,
+    mode: CollisionMode,
     report: &mut CheckReport,
 ) {
-    let (config, allocation, medium) = config(z);
+    let (config, allocation, medium) = config(z, mode);
     let mut stations: Vec<DdcrStation> = (0..z)
         .map(|i| {
             DdcrStation::new(
@@ -155,17 +235,15 @@ pub fn check_scenario(
                 Action::Idle => None,
             })
             .collect();
-        let (obs, advance) = match frames.len() {
-            0 => (Observation::Silence, Ticks(medium.slot_ticks)),
-            1 => (Observation::Busy(frames[0]), frames[0].duration()),
-            _ => (
-                Observation::Collision { survivor: None },
-                Ticks(medium.slot_ticks),
-            ),
-        };
+        // The engine's own resolution — semantics cannot drift apart.
+        let (obs, advance) = medium.resolve(&frames);
         let next_free = now + advance;
-        if let Observation::Busy(f) = obs {
-            deliveries.push((f.message.id, next_free));
+        match obs {
+            Observation::Busy(f)
+            | Observation::Collision {
+                survivor: Some(f), ..
+            } => deliveries.push((f.message.id, next_free)),
+            _ => {}
         }
         for s in stations.iter_mut() {
             s.observe(now, next_free, &obs);
@@ -208,9 +286,10 @@ pub fn check_scenario(
 
     // Causality.
     for &(id, completed) in &deliveries {
-        let msg = scenario.iter().find(|m| m.id == id).expect("scheduled");
-        let wire = Ticks(msg.bits + medium.overhead_bits);
-        if completed < msg.arrival + wire {
+        let Some(msg) = scenario.iter().find(|m| m.id == id) else {
+            continue; // invented delivery, already reported above
+        };
+        if completed < causality_bound(&medium, msg) {
             report.findings.push(Finding {
                 scenario_index: index,
                 violation: Violation::CausalityViolation { id },
@@ -220,8 +299,8 @@ pub fn check_scenario(
 
     // Strict EDF emulation, where the scenario qualifies: simultaneous
     // arrivals, pairwise-distinct sources, DM separation ≥ 2 classes.
-    let (cfg, ..) = (config, &allocation, medium);
-    let c = cfg.class_width.as_u64();
+    // Destructive collisions only — see the module docs.
+    let c = config.class_width.as_u64();
     let qualifies = {
         let all_zero = scenario.iter().all(|m| m.arrival == Ticks::ZERO);
         let mut sources: Vec<u32> = scenario.iter().map(|m| m.source.0).collect();
@@ -234,7 +313,7 @@ pub fn check_scenario(
         let separated = dms.windows(2).all(|p| p[1] - p[0] >= 2 * c);
         all_zero && distinct_sources && separated
     };
-    if qualifies {
+    if qualifies && mode == CollisionMode::Destructive {
         report.edf_checked += 1;
         let mut expected: Vec<&Message> = scenario.iter().collect();
         expected.sort_by_key(|m| m.absolute_deadline());
@@ -244,6 +323,265 @@ pub fn check_scenario(
             report.findings.push(Finding {
                 scenario_index: index,
                 violation: Violation::EdfOrderViolation { got, expected },
+            });
+        }
+    }
+}
+
+/// The seeded adversarial fault plan for one scenario: one corrupted
+/// slot, one erasure attempt, and exactly one station crash (station,
+/// instant and outage length all seed-derived), placed in the opening
+/// slots where the small scopes do their tree searches.
+pub fn adversarial_plan(seed: u64, scenario_index: usize, stations: u32) -> FaultPlan {
+    let base = fault_seed(seed, scenario_index as u64);
+    let pick = |lane: u64, modulus: u64| derive_seed(base, lane) % modulus;
+    FaultPlan::from_events(vec![
+        FaultEvent {
+            slot: pick(0, 8),
+            kind: FaultKind::CorruptSlot,
+        },
+        FaultEvent {
+            slot: pick(1, 12),
+            kind: FaultKind::EraseFrame,
+        },
+        FaultEvent {
+            slot: 2 + pick(2, 8),
+            kind: FaultKind::Crash {
+                station: pick(3, u64::from(stations)) as u32,
+                down_slots: 4 + pick(4, 8),
+            },
+        },
+    ])
+}
+
+/// Checks every scenario in the scope under a seeded adversarial fault
+/// plan (a fresh plan per scenario, see [`adversarial_plan`]).
+pub fn check_scope_with_faults(
+    scope: &Scope,
+    slot_budget: u64,
+    mode: CollisionMode,
+    seed: u64,
+) -> FaultCheckReport {
+    let mut report = FaultCheckReport::default();
+    for (index, scenario) in scope.scenarios().enumerate() {
+        report.scenarios += 1;
+        let plan = adversarial_plan(seed, index, scope.stations);
+        check_scenario_with_faults(
+            scope.stations,
+            index,
+            &scenario,
+            slot_budget,
+            mode,
+            &plan,
+            &mut report,
+        );
+    }
+    report
+}
+
+/// Checks a single scenario under an explicit fault plan.
+///
+/// Mirrors the engine's fault handling exactly: restarts are processed
+/// before crashes at each slot ordinal, crashed stations are fenced (no
+/// deliver/poll/observe; their arrivals are lost), and channel faults are
+/// applied to the resolved observation via [`FaultPlan::apply`].
+pub fn check_scenario_with_faults(
+    z: u32,
+    index: usize,
+    scenario: &[Message],
+    slot_budget: u64,
+    mode: CollisionMode,
+    plan: &FaultPlan,
+    report: &mut FaultCheckReport,
+) {
+    let (config, allocation, medium) = config(z, mode);
+    let mut stations: Vec<DdcrStation> = (0..z)
+        .map(|i| {
+            DdcrStation::new(
+                ddcr_sim::SourceId(i),
+                config,
+                allocation.clone(),
+                medium.overhead_bits,
+            )
+            .expect("station")
+        })
+        .collect();
+    let mut arrivals = scenario.to_vec();
+    arrivals.sort_by_key(|m| (m.arrival, m.id));
+
+    let mut deliveries: Vec<(MessageId, Ticks)> = Vec::new();
+    let mut lost: Vec<MessageId> = Vec::new();
+    // Restart ordinal per crashed station, and (restart step, restart
+    // time) per station currently resynchronizing.
+    let mut down: Vec<Option<u64>> = vec![None; z as usize];
+    let mut resyncing: Vec<Option<(u64, Ticks)>> = vec![None; z as usize];
+    let mut now = Ticks::ZERO;
+    let mut next = 0usize;
+    let mut step = 0u64;
+    let mut diverged = false;
+    loop {
+        // Fault transitions at this ordinal: restarts first, then crashes
+        // (same order as the engine).
+        for i in 0..stations.len() {
+            if down[i].is_some_and(|at| at <= step) {
+                down[i] = None;
+                stations[i].restart(now);
+                resyncing[i] = Some((step, now));
+            }
+        }
+        for (station, down_slots) in plan.crashes_at(step) {
+            let i = station as usize;
+            if i < stations.len() && down[i].is_none() {
+                report.crashes += 1;
+                lost.extend(stations[i].crash(now).into_iter().map(|m| m.id));
+                down[i] = Some(step + down_slots.max(1));
+                resyncing[i] = None;
+            }
+        }
+        if next >= arrivals.len() && stations.iter().all(|s| s.backlog() == 0) {
+            break;
+        }
+        if step >= slot_budget {
+            // Timed out under faults. Attribute: if the same scenario
+            // verifies cleanly fault-free, the injected faults caused the
+            // timeout (typically a resyncing station starved of epoch
+            // anchors by channel silence); otherwise it is a real bug.
+            let mut fault_free = CheckReport::default();
+            check_scenario(z, index, scenario, slot_budget, mode, &mut fault_free);
+            if fault_free.clean() {
+                report.attributable_timeouts += 1;
+            } else {
+                report.findings.push(Finding {
+                    scenario_index: index,
+                    violation: Violation::NotDrained {
+                        backlog: stations.iter().map(|s| s.backlog()).sum(),
+                    },
+                });
+            }
+            return;
+        }
+        while next < arrivals.len() && arrivals[next].arrival <= now {
+            let m = arrivals[next];
+            let i = m.source.0 as usize;
+            if down[i].is_some() {
+                lost.push(m.id); // its network module is dead
+            } else {
+                stations[i].deliver(m);
+            }
+            next += 1;
+        }
+        let frames: Vec<Frame> = stations
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| down[*i].is_none())
+            .filter_map(|(_, s)| match s.poll(now) {
+                Action::Transmit(f) => Some(f),
+                Action::Idle => None,
+            })
+            .collect();
+        let (obs, advance) = medium.resolve(&frames);
+        let (obs, advance, _slot_faults) =
+            plan.apply(step, Ticks(medium.slot_ticks), obs, advance);
+        let next_free = now + advance;
+        match obs {
+            Observation::Busy(f)
+            | Observation::Collision {
+                survivor: Some(f), ..
+            } => deliveries.push((f.message.id, next_free)),
+            _ => {}
+        }
+        for (i, s) in stations.iter_mut().enumerate() {
+            if down[i].is_none() {
+                s.observe(now, next_free, &obs);
+            }
+        }
+        // Healing: a resyncing station either rejoined this slot, or must
+        // have if the slot carried a post-restart epoch anchor (the exact
+        // rule the protocol's resync mode implements).
+        let anchor = match obs {
+            Observation::Busy(f)
+            | Observation::Collision {
+                survivor: Some(f), ..
+            } => f.epoch,
+            _ => None,
+        };
+        for i in 0..stations.len() {
+            let Some((restart_step, restart_at)) = resyncing[i] else {
+                continue;
+            };
+            if stations[i].is_synced() {
+                report.rejoins += 1;
+                report.max_heal_slots = report.max_heal_slots.max(step - restart_step + 1);
+                resyncing[i] = None;
+            } else if anchor.is_some_and(|stamp| stamp.start >= restart_at) {
+                report.findings.push(Finding {
+                    scenario_index: index,
+                    violation: Violation::UnhealedRestart {
+                        station: i as u32,
+                        step,
+                    },
+                });
+                resyncing[i] = None; // report once
+            }
+        }
+        // Divergence among replicas claiming to be synchronized; crashed
+        // and resyncing stations are expected to lag.
+        if !diverged {
+            let digests: Vec<String> = stations
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| down[*i].is_none() && s.is_synced())
+                .map(|(_, s)| s.shared_state_digest())
+                .collect();
+            if digests.windows(2).any(|w| w[0] != w[1]) {
+                report.findings.push(Finding {
+                    scenario_index: index,
+                    violation: Violation::ReplicaDivergence { step },
+                });
+                diverged = true;
+            }
+        }
+        now = next_free;
+        step += 1;
+    }
+
+    // Safety under faults: deliveries unique, scheduled, and never of a
+    // message recorded lost.
+    let lost_set: std::collections::HashSet<MessageId> = lost.iter().copied().collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(id, _) in &deliveries {
+        let scheduled = scenario.iter().any(|m| m.id == id);
+        if !seen.insert(id) || !scheduled {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::DuplicateOrInvented { id },
+            });
+        } else if lost_set.contains(&id) {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::LostMessageDelivered { id },
+            });
+        }
+    }
+    // Completeness: the loop only exits drained, so every scheduled
+    // message must be accounted for — delivered or lost in a crash.
+    for m in scenario {
+        if !seen.contains(&m.id) && !lost_set.contains(&m.id) {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::NotDrained { backlog: 1 },
+            });
+        }
+    }
+    // Causality holds under faults too.
+    for &(id, completed) in &deliveries {
+        let Some(msg) = scenario.iter().find(|m| m.id == id) else {
+            continue;
+        };
+        if completed < causality_bound(&medium, msg) {
+            report.findings.push(Finding {
+                scenario_index: index,
+                violation: Violation::CausalityViolation { id },
             });
         }
     }
@@ -267,10 +605,31 @@ mod tests {
     }
 
     #[test]
+    fn small_scope_verifies_clean_under_arbitration() {
+        let scope = Scope::small();
+        let report = check_scope_with_mode(&scope, 3_000, CollisionMode::Arbitrating);
+        assert_eq!(report.scenarios, scope.scenario_count());
+        assert!(
+            report.clean(),
+            "violations: {:?}",
+            &report.findings[..report.findings.len().min(5)]
+        );
+        // The strict-EDF check is destructive-only.
+        assert_eq!(report.edf_checked, 0);
+    }
+
+    #[test]
     fn single_scenario_replay_matches() {
         let scope = Scope::small();
         let mut report = CheckReport::default();
-        check_scenario(scope.stations, 7, &scope.scenario(7), 3_000, &mut report);
+        check_scenario(
+            scope.stations,
+            7,
+            &scope.scenario(7),
+            3_000,
+            CollisionMode::Destructive,
+            &mut report,
+        );
         assert!(report.clean());
     }
 
@@ -279,10 +638,113 @@ mod tests {
         // One slot is never enough to drain anything.
         let scope = Scope::small();
         let mut report = CheckReport::default();
-        check_scenario(scope.stations, 0, &scope.scenario(0), 1, &mut report);
+        check_scenario(
+            scope.stations,
+            0,
+            &scope.scenario(0),
+            1,
+            CollisionMode::Destructive,
+            &mut report,
+        );
         assert!(matches!(
             report.findings[0].violation,
             Violation::NotDrained { .. }
         ));
+    }
+
+    #[test]
+    fn causality_bound_is_arrival_plus_wire_bits() {
+        // Pin: the bound is routed through MediumConfig::wire_bits — the
+        // same l'(m) = l(m) + overhead the engine charges the channel —
+        // not an inline re-derivation that could drift.
+        let medium = MediumConfig::ethernet();
+        let m = Message {
+            id: MessageId(0),
+            source: ddcr_sim::SourceId(0),
+            class: ddcr_sim::ClassId(0),
+            bits: 2_000,
+            arrival: Ticks(700),
+            deadline: Ticks(400_000),
+        };
+        assert_eq!(
+            causality_bound(&medium, &m),
+            Ticks(700 + medium.wire_bits(2_000))
+        );
+        assert_eq!(causality_bound(&medium, &m), Ticks(700 + 2_000 + 26 * 8));
+    }
+
+    #[test]
+    fn arbitrated_survivors_count_as_deliveries() {
+        // Two simultaneous arrivals at distinct sources collide under
+        // arbitration; the survivor's frame goes through. If the checker
+        // dropped survivor deliveries it would report these scenarios
+        // undrained (the winning source dequeues on the survival).
+        let scope = Scope {
+            stations: 2,
+            messages: 2,
+            arrival_choices: vec![0],
+            deadline_choices: vec![400_000],
+            bits_choices: vec![2_000],
+        };
+        let report = check_scope_with_mode(&scope, 3_000, CollisionMode::Arbitrating);
+        assert!(report.clean(), "violations: {:?}", report.findings);
+    }
+
+    #[test]
+    fn adversarial_plans_are_seeded_and_always_crash_once() {
+        let a = adversarial_plan(42, 17, 2);
+        let b = adversarial_plan(42, 17, 2);
+        assert_eq!(a, b);
+        let c = adversarial_plan(43, 17, 2);
+        assert_ne!(a, c);
+        let crashes: Vec<_> = a
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Crash { .. }))
+            .collect();
+        assert_eq!(crashes.len(), 1);
+    }
+
+    #[test]
+    fn small_scope_is_safe_under_adversarial_faults() {
+        let scope = Scope::small();
+        let report = check_scope_with_faults(&scope, 3_000, CollisionMode::Destructive, 42);
+        assert_eq!(report.scenarios, scope.scenario_count());
+        assert!(
+            report.clean(),
+            "violations: {:?}",
+            &report.findings[..report.findings.len().min(5)]
+        );
+        assert!(report.crashes > 0, "the adversarial plans never crashed");
+        assert!(report.rejoins > 0, "no station ever resynchronized");
+        assert!(
+            report.max_heal_slots > 0 && report.max_heal_slots < 3_000,
+            "heal time unbounded: {}",
+            report.max_heal_slots
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_faultless_checker() {
+        // Under FaultPlan::none() the fault-aware loop must reach the
+        // same verdict as the plain checker on every scenario.
+        let scope = Scope::small();
+        let plan = FaultPlan::none();
+        let mut fault_report = FaultCheckReport::default();
+        for (index, scenario) in scope.scenarios().enumerate() {
+            fault_report.scenarios += 1;
+            check_scenario_with_faults(
+                scope.stations,
+                index,
+                &scenario,
+                3_000,
+                CollisionMode::Destructive,
+                &plan,
+                &mut fault_report,
+            );
+        }
+        assert!(fault_report.clean(), "{:?}", fault_report.findings);
+        assert_eq!(fault_report.crashes, 0);
+        assert_eq!(fault_report.attributable_timeouts, 0);
     }
 }

@@ -39,5 +39,9 @@
 mod checker;
 mod scope;
 
-pub use checker::{check_scenario, check_scope, CheckReport, Finding, Violation};
+pub use checker::{
+    adversarial_plan, check_scenario, check_scenario_with_faults, check_scope,
+    check_scope_with_faults, check_scope_with_mode, CheckReport, FaultCheckReport, Finding,
+    Violation,
+};
 pub use scope::Scope;

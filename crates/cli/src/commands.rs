@@ -4,7 +4,7 @@
 use crate::args::{ArgError, Args};
 use ddcr_baseline::QueueDiscipline;
 use ddcr_core::{dimensioning, feasibility, multibus, network, DdcrConfig, StaticAllocation};
-use ddcr_sim::{Engine, MediumConfig, SourceId, Ticks};
+use ddcr_sim::{CollisionMode, Engine, FaultPlan, FaultRates, MediumConfig, SourceId, Ticks};
 use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
 use ddcr_tree::{asymptotic, closed_form, witness, TreeShape};
 use std::fmt::Write as _;
@@ -25,6 +25,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("sweep") => cmd_sweep(args),
         Some("multibus") => cmd_multibus(args),
         Some("check") => cmd_check(args),
+        Some("faults") => cmd_faults(args),
         Some("bench-engine") => cmd_bench_engine(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -60,7 +61,14 @@ COMMANDS
   multibus     per-bus feasibility over parallel media
                  --scenario ... --sources Z --buses B [--medium ...]
   check        bounded exhaustive model check of the protocol
-                 [--scope small|medium]
+                 [--scope small|medium] [--mode destructive|arbitrating]
+  faults       deterministic fault injection (slot corruption, frame
+                 erasure, station crashes)
+                 --check small|medium [--mode destructive|arbitrating] [--seed S]
+                   (seeded adversarial model check: safety + bounded healing)
+                 or: --scenario ... --sources Z [--corrupt P --erase P
+                     --crash P --down SLOTS] [--horizon-ms H] [--seed S]
+                     [--medium ...]  (one faulted DDCR run, replayable by seed)
   bench-engine engine hot-path perf suite; writes the BENCH_engine.json gate
                  [--profile smoke|full] [--out PATH]  (see docs/PERF.md)
   help         this text
@@ -435,14 +443,29 @@ fn cmd_multibus(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+fn mode_from(args: &Args) -> Result<CollisionMode, String> {
+    match args.get("mode").unwrap_or("destructive") {
+        "destructive" => Ok(CollisionMode::Destructive),
+        "arbitrating" => Ok(CollisionMode::Arbitrating),
+        other => Err(format!(
+            "unknown mode `{other}` (destructive|arbitrating)"
+        )),
+    }
+}
+
+fn scope_from(name: &str) -> Result<ddcr_check::Scope, String> {
+    match name {
+        "small" => Ok(ddcr_check::Scope::small()),
+        "medium" => Ok(ddcr_check::Scope::medium()),
+        other => Err(format!("unknown scope `{other}` (small|medium)")),
+    }
+}
+
 fn cmd_check(args: &Args) -> Result<String, String> {
-    args.allow_only(&["scope"]).map_err(|e| e.to_string())?;
-    let scope = match args.get("scope").unwrap_or("small") {
-        "small" => ddcr_check::Scope::small(),
-        "medium" => ddcr_check::Scope::medium(),
-        other => return Err(format!("unknown scope `{other}` (small|medium)")),
-    };
-    let report = ddcr_check::check_scope(&scope, 5_000);
+    args.allow_only(&["scope", "mode"]).map_err(|e| e.to_string())?;
+    let scope = scope_from(args.get("scope").unwrap_or("small"))?;
+    let mode = mode_from(args)?;
+    let report = ddcr_check::check_scope_with_mode(&scope, 5_000, mode);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -466,6 +489,105 @@ fn cmd_check(args: &Args) -> Result<String, String> {
         return Err(out);
     }
     Ok(out)
+}
+
+fn cmd_faults(args: &Args) -> Result<String, String> {
+    if args.get("check").is_some() {
+        return cmd_faults_check(args);
+    }
+    args.allow_only(&[
+        "scenario",
+        "sources",
+        "load",
+        "deadline-ms",
+        "bits",
+        "medium",
+        "horizon-ms",
+        "seed",
+        "corrupt",
+        "erase",
+        "crash",
+        "down",
+    ])
+    .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let horizon_ms: u64 = args.get_or("horizon-ms", 10).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let rates = FaultRates {
+        corrupt: args.get_or("corrupt", 0.005).map_err(|e| e.to_string())?,
+        erase: args.get_or("erase", 0.005).map_err(|e| e.to_string())?,
+        crash: args.get_or("crash", 0.0005).map_err(|e| e.to_string())?,
+        down_slots: args.get_or("down", 64).map_err(|e| e.to_string())?,
+    };
+    let (config, allocation) = setup(&set, &medium)?;
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(horizon_ms * 1_000_000))
+        .map_err(|e| e.to_string())?;
+    let n = schedule.len();
+    // Plan horizon in decision slots: every slot is at least `slot_ticks`
+    // wide, so this over-covers the arrival horizon; doubled for the
+    // drain tail.
+    let horizon_slots = 2 * horizon_ms * 1_000_000 / medium.slot_ticks.max(1);
+    let plan = FaultPlan::generate(seed, set.sources(), horizon_slots, &rates);
+    let injected = plan.len();
+    let mut engine = network::build_engine(&set, &config, &allocation, medium)
+        .map_err(|e| e.to_string())?;
+    engine.set_fault_plan(plan);
+    engine.add_arrivals(schedule).map_err(|e| e.to_string())?;
+    let _ = engine.run_to_completion(Ticks(1_000_000_000_000));
+    let stats = engine.into_stats();
+    Ok(format!(
+        "seed {seed}: injected {injected} fault events over {horizon_slots} slots\n\
+         scheduled {n}, delivered {}, lost to crashes {}\n\
+         corrupted slots {}, erased frames {}, crashes {}, restarts {}\n\
+         misses {}, max latency {} ticks, utilization {:.3}\n",
+        stats.deliveries.len(),
+        stats.lost.len(),
+        stats.corrupted_slots,
+        stats.erased_frames,
+        stats.crashes,
+        stats.restarts,
+        stats.deadline_misses(),
+        stats.max_latency().as_u64(),
+        stats.utilization(),
+    ))
+}
+
+fn cmd_faults_check(args: &Args) -> Result<String, String> {
+    args.allow_only(&["check", "mode", "seed"]).map_err(|e| e.to_string())?;
+    let scope = scope_from(args.require("check").map_err(|e| e.to_string())?)?;
+    let mode = mode_from(args)?;
+    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let report = ddcr_check::check_scope_with_faults(&scope, 5_000, mode, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checked {} scenarios under seeded adversarial fault plans (seed {seed}, {mode:?})",
+        report.scenarios
+    );
+    let _ = writeln!(
+        out,
+        "crashes {}, rejoins {}, worst heal {} slots, fault-attributable timeouts {}",
+        report.crashes, report.rejoins, report.max_heal_slots, report.attributable_timeouts
+    );
+    if report.clean() {
+        let _ = writeln!(
+            out,
+            "safety holds under faults: exactly-once, causality, no lost message \
+             delivered, divergence only while crashed/resyncing, healing bounded"
+        );
+        Ok(out)
+    } else {
+        for finding in report.findings.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "VIOLATION in scenario {}: {:?}",
+                finding.scenario_index, finding.violation
+            );
+        }
+        Err(out)
+    }
 }
 
 fn cmd_bench_engine(args: &Args) -> Result<String, String> {
@@ -672,6 +794,55 @@ mod tests {
         let out = run_line(&["check", "--scope", "small"]).unwrap();
         assert!(out.contains("all properties hold"));
         assert!(run_line(&["check", "--scope", "weird"]).is_err());
+    }
+
+    #[test]
+    fn check_supports_both_collision_modes() {
+        let out =
+            run_line(&["check", "--scope", "small", "--mode", "arbitrating"]).unwrap();
+        assert!(out.contains("all properties hold"), "{out}");
+        assert!(run_line(&["check", "--mode", "psychic"]).is_err());
+    }
+
+    #[test]
+    fn faults_check_small_scope_is_safe() {
+        let out = run_line(&["faults", "--check", "small", "--seed", "42"]).unwrap();
+        assert!(out.contains("safety holds under faults"), "{out}");
+        assert!(out.contains("crashes"), "{out}");
+        assert!(run_line(&["faults", "--check", "weird"]).is_err());
+    }
+
+    #[test]
+    fn faults_simulation_is_seed_replayable() {
+        let line = || {
+            run_line(&[
+                "faults",
+                "--scenario",
+                "uniform",
+                "--sources",
+                "4",
+                "--load",
+                "0.2",
+                "--horizon-ms",
+                "4",
+                "--seed",
+                "9",
+                "--corrupt",
+                "0.01",
+                "--erase",
+                "0.01",
+                "--crash",
+                "0.002",
+                "--down",
+                "32",
+            ])
+            .unwrap()
+        };
+        let a = line();
+        assert!(a.contains("injected"), "{a}");
+        assert!(a.contains("corrupted slots"), "{a}");
+        // Bitwise replayable: the same seed reproduces the exact report.
+        assert_eq!(a, line());
     }
 
     #[test]

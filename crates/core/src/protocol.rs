@@ -33,7 +33,7 @@ use crate::edf::EdfQueue;
 use crate::indices::StaticAllocation;
 use crate::mts::{Interval, MtsEvent, MtsSearch, SlotOutcome};
 use ddcr_sim::{
-    Action, Frame, Message, MessageId, Observation, SourceId, Station, Ticks,
+    Action, EpochStamp, Frame, Message, MessageId, Observation, SourceId, Station, Ticks,
 };
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +62,11 @@ pub struct ProtocolCounters {
     /// Collisions that cannot occur in a conforming network (static-leaf
     /// collisions): evidence of interference or a babbling station.
     pub interference_collisions: u64,
+    /// Injected omission failures this station suffered.
+    pub crashes: u64,
+    /// Successful resynchronizations after a restart (epoch boundary
+    /// observed, replica state rebuilt).
+    pub rejoins: u64,
 }
 
 /// State of one time tree search in progress.
@@ -98,6 +103,37 @@ enum SlotPlan {
         collided_leaf: u64,
     },
     Attempt,
+}
+
+/// Liveness mode of this replica with respect to the shared automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Mode {
+    /// Normal operation: a full replica of the shared automaton.
+    Online,
+    /// Crashed (fenced by the engine); volatile state is gone.
+    Crashed,
+    /// Up after a restart, but receive-only: the replica state is stale, so
+    /// the station buffers everything it hears and waits for a frame whose
+    /// [`EpochStamp`] proves a tree-search epoch began after `since`. It
+    /// then rebuilds the shared state from the stamp and replays the
+    /// buffer (see `observe_resync`).
+    Resync {
+        since: Ticks,
+        buffer: Vec<BufferedSlot>,
+    },
+}
+
+/// One buffered channel outcome recorded while resynchronizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufferedSlot {
+    /// An individually observed slot.
+    Step {
+        at: Ticks,
+        next_free: Ticks,
+        observation: Observation,
+    },
+    /// A fast-forwarded silence run (`slots` silent slots from `from`).
+    SilenceRun { from: Ticks, slots: u64, slot: Ticks },
 }
 
 /// A CSMA/DDCR station: local EDF queue plus the replicated
@@ -142,6 +178,16 @@ pub struct DdcrStation {
     burst_reserved_for: Option<SourceId>,
     /// Remaining burst bit budget (meaningful on the bursting station).
     burst_budget: u64,
+    /// Crash/resync mode (Online in a fault-free run).
+    mode: Mode,
+    /// When the current tree-search epoch (the TTs run in progress, or the
+    /// one whose attempt slot is pending) began.
+    epoch_start: Ticks,
+    /// `reft` at the epoch boundary.
+    epoch_reft: Ticks,
+    /// Burst reservation armed at the epoch boundary (an epoch can begin
+    /// with a source still holding channel control).
+    epoch_burst: Option<SourceId>,
     counters: ProtocolCounters,
 }
 
@@ -181,6 +227,10 @@ impl DdcrStation {
             sts_cursor: 0,
             burst_reserved_for: None,
             burst_budget: 0,
+            mode: Mode::Online,
+            epoch_start: Ticks::ZERO,
+            epoch_reft: Ticks::ZERO,
+            epoch_burst: None,
             counters: ProtocolCounters {
                 tts_runs: 1,
                 ..ProtocolCounters::default()
@@ -209,6 +259,11 @@ impl DdcrStation {
     /// identical digests at every slot boundary; integration tests assert
     /// exactly that.
     pub fn shared_state_digest(&self) -> String {
+        match &self.mode {
+            Mode::Crashed => return "crashed".to_owned(),
+            Mode::Resync { since, .. } => return format!("resync;since={since}"),
+            Mode::Online => {}
+        }
         let fmt_interval =
             |i: Option<Interval>| i.map_or("-".to_owned(), |i| format!("{}+{}", i.lo, i.width));
         let phase = match &self.phase {
@@ -231,9 +286,16 @@ impl DdcrStation {
             Phase::Attempt => "Attempt".to_owned(),
         };
         format!(
-            "{phase};reft={};burst={:?}",
-            self.reft, self.burst_reserved_for
+            "{phase};reft={};burst={:?};epoch=({},{},{:?})",
+            self.reft, self.burst_reserved_for, self.epoch_start, self.epoch_reft, self.epoch_burst
         )
+    }
+
+    /// Whether this replica is a full participant of the shared automaton
+    /// (not crashed and not resynchronizing). Only synced replicas are
+    /// required to agree on [`DdcrStation::shared_state_digest`].
+    pub fn is_synced(&self) -> bool {
+        matches!(self.mode, Mode::Online)
     }
 
     /// Raw deadline-class index `⌊(DM(msg) − (α + reft)) / c⌋`, which may
@@ -279,6 +341,7 @@ impl DdcrStation {
     /// continuation flag against the full burst budget.
     fn initial_frame(&self, msg: Message) -> Frame {
         let mut frame = Frame::new(msg, msg.bits + self.overhead_bits);
+        frame.epoch = Some(self.epoch_stamp());
         if let Some(burst) = self.config.bursting {
             frame.burst_more = self
                 .queue
@@ -292,6 +355,7 @@ impl DdcrStation {
     /// remaining budget.
     fn continuation_frame(&self, msg: Message) -> Frame {
         let mut frame = Frame::new(msg, msg.bits + self.overhead_bits);
+        frame.epoch = Some(self.epoch_stamp());
         if self.config.bursting.is_some() {
             let remaining = self.burst_budget.saturating_sub(msg.bits);
             frame.burst_more = self
@@ -326,11 +390,27 @@ impl DdcrStation {
         };
     }
 
-    /// Starts a fresh time tree search (new `reft`-relative indices).
-    fn start_tts(&mut self) {
+    /// The epoch coordinates every transmitted frame carries (the resync
+    /// anchor for restarted stations).
+    fn epoch_stamp(&self) -> EpochStamp {
+        EpochStamp {
+            start: self.epoch_start,
+            reft: self.epoch_reft,
+            burst: self.epoch_burst,
+        }
+    }
+
+    /// Starts a fresh time tree search (new `reft`-relative indices) at
+    /// channel time `at` — a tree-search epoch boundary. Must run *after*
+    /// any `reft` update and `note_delivery` of the closing slot, so the
+    /// recorded epoch coordinates are the ones the new search runs under.
+    fn start_tts(&mut self, at: Ticks) {
         self.counters.tts_runs += 1;
         self.time_index = None;
         self.time_index_for = None;
+        self.epoch_start = at;
+        self.epoch_reft = self.reft;
+        self.epoch_burst = self.burst_reserved_for;
         self.phase = Phase::Tts(TtsState {
             search: MtsSearch::new(self.config.time_tree),
             transmitted_any: false,
@@ -363,8 +443,108 @@ impl DdcrStation {
                     self.burst_reserved_for = None;
                 }
             }
+            Observation::Garbled => {
+                // The continuation was erased on the wire: every replica
+                // drops the reservation; the holder's message stays queued
+                // and re-enters through the regular search phases.
+                self.burst_reserved_for = None;
+            }
         }
         true
+    }
+
+    /// Receive-only slot handling while resynchronizing: buffer the
+    /// observation, and if it carries a frame whose epoch began after the
+    /// restart, rebuild the shared state and rejoin.
+    ///
+    /// Why this is sound: within one epoch the shared state is a pure
+    /// function of the epoch coordinates `(start, reft, burst)` and the
+    /// observation sequence since `start` — `observe` transitions never
+    /// read the local queue (private effects of `note_delivery` touch only
+    /// own-source frames, and a resynchronizing station was provably silent
+    /// over the buffered span). So replaying the buffer from `stamp.start`
+    /// over a freshly initialized epoch reproduces exactly the state every
+    /// online replica holds.
+    fn observe_resync(&mut self, now: Ticks, next_free: Ticks, observation: &Observation) {
+        let anchor = match observation {
+            Observation::Busy(frame)
+            | Observation::Collision {
+                survivor: Some(frame),
+            } => frame.epoch,
+            _ => None,
+        };
+        let Mode::Resync { since, buffer } = &mut self.mode else {
+            unreachable!("observe_resync requires Resync mode");
+        };
+        let since = *since;
+        buffer.push(BufferedSlot::Step {
+            at: now,
+            next_free,
+            observation: *observation,
+        });
+        if let Some(stamp) = anchor {
+            if stamp.start >= since {
+                let buffer = std::mem::take(buffer);
+                self.mode = Mode::Online;
+                self.reinitialize_at_epoch(stamp);
+                self.replay_buffer(&buffer, stamp.start);
+                self.counters.rejoins += 1;
+            }
+        }
+    }
+
+    /// Rebuilds the shared replica state at an epoch boundary from its
+    /// on-wire coordinates.
+    fn reinitialize_at_epoch(&mut self, stamp: EpochStamp) {
+        self.reft = stamp.reft;
+        self.burst_reserved_for = stamp.burst;
+        self.burst_budget = 0;
+        self.sts_cursor = 0;
+        self.time_index = None;
+        self.time_index_for = None;
+        self.epoch_start = stamp.start;
+        self.epoch_reft = stamp.reft;
+        self.epoch_burst = stamp.burst;
+        self.counters.tts_runs += 1;
+        self.phase = Phase::Tts(TtsState {
+            search: MtsSearch::new(self.config.time_tree),
+            transmitted_any: false,
+        });
+    }
+
+    /// Replays the buffered observations from the epoch boundary `from`
+    /// onward against the freshly initialized automaton. Epoch boundaries
+    /// are slot-aligned, so a silence run straddling `from` splits cleanly
+    /// at a slot boundary.
+    fn replay_buffer(&mut self, buffer: &[BufferedSlot], from: Ticks) {
+        for entry in buffer {
+            match *entry {
+                BufferedSlot::Step {
+                    at,
+                    next_free,
+                    ref observation,
+                } => {
+                    if at >= from {
+                        self.observe_online(at, next_free, observation);
+                    }
+                }
+                BufferedSlot::SilenceRun {
+                    from: run_from,
+                    slots,
+                    slot,
+                } => {
+                    if run_from + slot * slots <= from {
+                        continue;
+                    }
+                    if run_from >= from {
+                        self.skip_silence_online(run_from, slots, slot);
+                    } else {
+                        let skip = (from - run_from).as_u64() / slot.as_u64();
+                        self.skip_silence_online(run_from + slot * skip, slots - skip, slot);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -374,6 +554,11 @@ impl Station for DdcrStation {
     }
 
     fn poll(&mut self, _now: Ticks) -> Action {
+        // Crashed stations are fenced by the engine; a resynchronizing one
+        // is receive-only until it can prove replica consistency.
+        if !matches!(self.mode, Mode::Online) {
+            return Action::Idle;
+        }
         // A burst reservation pre-empts every phase.
         if let Some(holder) = self.burst_reserved_for {
             if holder == self.source {
@@ -442,7 +627,77 @@ impl Station for DdcrStation {
         }
     }
 
-    fn observe(&mut self, _now: Ticks, next_free: Ticks, observation: &Observation) {
+    fn observe(&mut self, now: Ticks, next_free: Ticks, observation: &Observation) {
+        if matches!(self.mode, Mode::Online) {
+            self.observe_online(now, next_free, observation);
+        } else if matches!(self.mode, Mode::Resync { .. }) {
+            self.observe_resync(now, next_free, observation);
+        }
+        // Crashed: defensive no-op — the engine fences crashed stations.
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn crash(&mut self, _now: Ticks) -> Vec<Message> {
+        self.counters.crashes += 1;
+        self.mode = Mode::Crashed;
+        self.burst_reserved_for = None;
+        self.burst_budget = 0;
+        self.sts_cursor = 0;
+        self.time_index = None;
+        self.time_index_for = None;
+        self.queue.drain_sorted()
+    }
+
+    fn restart(&mut self, now: Ticks) {
+        self.mode = Mode::Resync {
+            since: now,
+            buffer: Vec::new(),
+        };
+    }
+
+    fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+        match self.mode {
+            // A fenced or receive-only station never transmits; silence
+            // runs may be skipped over it (buffered while resyncing).
+            Mode::Crashed | Mode::Resync { .. } => return None,
+            Mode::Online => {}
+        }
+        if self.burst_reserved_for.is_some() || !self.queue.is_empty() {
+            return Some(now);
+        }
+        match self.phase {
+            // STs completion re-reads physical time (`reft := next_free`),
+            // so those slots must be stepped individually even when this
+            // station has nothing to send.
+            Phase::Sts { .. } => Some(now),
+            // The idle TTs/Attempt cycle is time-free under silence: the
+            // replicated automaton keeps turning, but its evolution depends
+            // only on slot *count*, which `skip_silence` replays exactly.
+            Phase::Tts(_) | Phase::Attempt => None,
+        }
+    }
+
+    fn skip_silence(&mut self, from: Ticks, slots: u64, slot: Ticks) {
+        if matches!(self.mode, Mode::Online) {
+            self.skip_silence_online(from, slots, slot);
+        } else if let Mode::Resync { buffer, .. } = &mut self.mode {
+            buffer.push(BufferedSlot::SilenceRun { from, slots, slot });
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("ddcr:{}", self.source)
+    }
+}
+
+impl DdcrStation {
+    /// The online replica's slot-outcome handler (the protocol automaton
+    /// proper). Also the replay engine for resynchronization: rejoining
+    /// stations feed their buffered observations through this very code.
+    fn observe_online(&mut self, _now: Ticks, next_free: Ticks, observation: &Observation) {
         if self.observe_burst_slot(observation) {
             return;
         }
@@ -450,6 +705,10 @@ impl Station for DdcrStation {
             Observation::Silence => (SlotOutcome::Empty, None),
             Observation::Busy(frame) => (SlotOutcome::Success, Some(*frame)),
             Observation::Collision { survivor } => (SlotOutcome::Collision, *survivor),
+            // An erased frame is indistinguishable from a collision to the
+            // automaton: channel held, nothing decoded, transmitter retries
+            // (loss detection is symmetric — see docs/PROTOCOL.md §4).
+            Observation::Garbled => (SlotOutcome::Collision, None),
         };
         match std::mem::replace(&mut self.phase, Phase::Attempt) {
             Phase::Tts(mut state) => {
@@ -497,7 +756,7 @@ impl Station for DdcrStation {
                                 // `reft` and bounds the idleness.
                                 self.phase = Phase::Attempt;
                             } else {
-                                self.start_tts();
+                                self.start_tts(next_free);
                             }
                         }
                     }
@@ -568,33 +827,19 @@ impl Station for DdcrStation {
                         self.reft = next_free;
                     }
                     Observation::Silence => {}
+                    Observation::Garbled => {
+                        // Erased attempt: same replica-visible outcome as
+                        // an attempt collision.
+                        self.counters.attempt_collisions += 1;
+                        self.reft = next_free;
+                    }
                 }
-                self.start_tts();
+                self.start_tts(next_free);
             }
         }
     }
 
-    fn backlog(&self) -> usize {
-        self.queue.len()
-    }
-
-    fn next_ready(&self, now: Ticks) -> Option<Ticks> {
-        if self.burst_reserved_for.is_some() || !self.queue.is_empty() {
-            return Some(now);
-        }
-        match self.phase {
-            // STs completion re-reads physical time (`reft := next_free`),
-            // so those slots must be stepped individually even when this
-            // station has nothing to send.
-            Phase::Sts { .. } => Some(now),
-            // The idle TTs/Attempt cycle is time-free under silence: the
-            // replicated automaton keeps turning, but its evolution depends
-            // only on slot *count*, which `skip_silence` replays exactly.
-            Phase::Tts(_) | Phase::Attempt => None,
-        }
-    }
-
-    fn skip_silence(&mut self, from: Ticks, slots: u64, slot: Ticks) {
+    fn skip_silence_online(&mut self, from: Ticks, slots: u64, slot: Ticks) {
         // Only reachable with an empty queue and no burst reservation (see
         // `next_ready`). Under silence the idle automaton cycles: fresh
         // TTs, `m` empty probes, then — θ = 0 — one silent attempt slot,
@@ -618,22 +863,25 @@ impl Station for DdcrStation {
         if cycles > 0 {
             // Per cycle: m empty probes, one empty-TTs completion, one
             // fresh TTs start; the phase itself returns to the identical
-            // cycle-start state, so only counters and `reft` move.
+            // cycle-start state, so only counters, `reft` and the epoch
+            // coordinates move.
             self.counters.probe_empties += cycles * m;
             self.counters.tts_empty_runs += cycles;
             self.counters.tts_runs += cycles;
             self.reft += self.config.theta() * cycles;
             at += slot * (cycles * cycle);
             remaining -= cycles * cycle;
+            // The last skipped cycle's fresh TTs began at `at` exactly as
+            // `start_tts(next_free)` would have recorded; idle cycles carry
+            // no burst reservation.
+            self.epoch_start = at;
+            self.epoch_reft = self.reft;
+            self.epoch_burst = None;
         }
         for _ in 0..remaining {
             self.observe(at, at + slot, &Observation::Silence);
             at += slot;
         }
-    }
-
-    fn label(&self) -> String {
-        format!("ddcr:{}", self.source)
     }
 }
 
@@ -985,6 +1233,121 @@ mod tests {
         for theta in [0u64, 2] {
             assert_eq!(run(true, theta), run(false, theta), "theta={theta}");
         }
+    }
+
+    /// Resolves one hand-driven slot for a set of replicas, skipping the
+    /// stations marked down, and returns `(observation, next_free)`.
+    fn drive_slot(
+        stations: &mut [DdcrStation],
+        down: &[bool],
+        now: Ticks,
+    ) -> (Observation, Ticks) {
+        let frames: Vec<Frame> = stations
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| !down[*i])
+            .filter_map(|(_, s)| match s.poll(now) {
+                Action::Transmit(f) => Some(f),
+                Action::Idle => None,
+            })
+            .collect();
+        let (obs, advance) = match frames.len() {
+            0 => (Observation::Silence, Ticks(512)),
+            1 => (Observation::Busy(frames[0]), frames[0].duration()),
+            _ => (Observation::Collision { survivor: None }, Ticks(512)),
+        };
+        let next_free = now + advance;
+        for (i, s) in stations.iter_mut().enumerate() {
+            if !down[i] {
+                s.observe(now, next_free, &obs);
+            }
+        }
+        (obs, next_free)
+    }
+
+    #[test]
+    fn restarted_station_rejoins_at_epoch_boundary_with_identical_digest() {
+        let cfg = config();
+        let medium = MediumConfig::ethernet();
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, 3).unwrap();
+        let mut stations: Vec<DdcrStation> = (0..3)
+            .map(|i| {
+                DdcrStation::new(SourceId(i), cfg, allocation.clone(), medium.overhead_bits)
+                    .unwrap()
+            })
+            .collect();
+        let mut down = [false; 3];
+        let mut now = Ticks::ZERO;
+
+        // Warm up with some traffic so the run is not at its initial state.
+        stations[0].deliver(msg(0, 0, 0, 500_000));
+        stations[1].deliver(msg(1, 1, 0, 700_000));
+        for _ in 0..40 {
+            now = drive_slot(&mut stations, &down, now).1;
+        }
+        assert!(stations.iter().all(|s| s.backlog() == 0));
+
+        // Crash replica 2 mid-epoch; its queued message is lost.
+        stations[2].deliver(msg(2, 2, 0, 900_000));
+        let lost = stations[2].crash(now);
+        assert_eq!(lost.len(), 1);
+        assert_eq!(stations[2].shared_state_digest(), "crashed");
+        down[2] = true;
+
+        // The survivors keep working while replica 2 is down.
+        stations[0].deliver(msg(3, 0, 0, 900_000));
+        for _ in 0..20 {
+            now = drive_slot(&mut stations, &down, now).1;
+        }
+
+        // Restart: receive-only until an epoch boundary is observed.
+        stations[2].restart(now);
+        down[2] = false;
+        assert!(!stations[2].is_synced());
+
+        // Idle slots alone carry no epoch stamp — still resyncing.
+        for _ in 0..10 {
+            now = drive_slot(&mut stations, &down, now).1;
+        }
+        assert!(!stations[2].is_synced());
+
+        // Traffic from a survivor: the first frame of a fresh (post-restart)
+        // epoch anchors the rejoin.
+        stations[0].deliver(msg(4, 0, 0, 900_000));
+        let mut synced_after = None;
+        for i in 0..60 {
+            now = drive_slot(&mut stations, &down, now).1;
+            if stations[2].is_synced() {
+                synced_after = Some(i);
+                break;
+            }
+        }
+        let healed = synced_after.expect("replica 2 never resynchronized");
+        assert!(healed < 60, "heal took too long: {healed} slots");
+        assert_eq!(stations[2].counters().rejoins, 1);
+        assert_eq!(stations[2].counters().crashes, 1);
+
+        // From rejoin onward all three digests agree, slot after slot.
+        for _ in 0..100 {
+            now = drive_slot(&mut stations, &down, now).1;
+            let digests: Vec<String> =
+                stations.iter().map(|s| s.shared_state_digest()).collect();
+            assert_eq!(digests[0], digests[1], "divergence at {now}");
+            assert_eq!(digests[1], digests[2], "rejoined replica diverged at {now}");
+        }
+
+        // And the rejoined replica is a full participant again: its own
+        // traffic goes through.
+        stations[2].deliver(msg(5, 2, 0, 2_000_000));
+        let before = stations[2].counters().transmitted;
+        for _ in 0..200 {
+            now = drive_slot(&mut stations, &down, now).1;
+            if stations[2].counters().transmitted > before {
+                break;
+            }
+        }
+        assert_eq!(stations[2].counters().transmitted, before + 1);
+        assert_eq!(stations[2].backlog(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! station hears.
 
 use crate::message::Frame;
+use crate::time::Ticks;
 use serde::{Deserialize, Serialize};
 
 /// What a station does at a slot boundary.
@@ -42,6 +43,13 @@ pub enum Observation {
         /// non-destructive.
         survivor: Option<Frame>,
     },
+    /// An injected-fault outcome ([`crate::FaultKind::EraseFrame`]): the
+    /// channel was held for a frame's full duration but the CRC failed at
+    /// every receiver, so nothing was decoded. Stations treat this like a
+    /// collision — the transmitter retries — under the assumption that
+    /// loss detection is symmetric (the sender sees the same corrupted
+    /// channel it transmitted into).
+    Garbled,
 }
 
 /// Collision semantics of the medium.
@@ -118,6 +126,38 @@ impl MediumConfig {
         bits + self.overhead_bits
     }
 
+    /// Resolves the frames submitted in one decision slot into the
+    /// observation every station hears and the channel time it consumes.
+    ///
+    /// This is the single source of truth for collision semantics: the
+    /// engine's slot loop and the bounded model checker both call it, so
+    /// they cannot drift apart (under [`CollisionMode::Arbitrating`] the
+    /// lowest-numbered transmitting source wins).
+    pub fn resolve(&self, frames: &[Frame]) -> (Observation, Ticks) {
+        match frames {
+            [] => (Observation::Silence, Ticks(self.slot_ticks)),
+            [frame] => (Observation::Busy(*frame), frame.duration()),
+            _ => match self.collision_mode {
+                CollisionMode::Destructive => (
+                    Observation::Collision { survivor: None },
+                    Ticks(self.slot_ticks),
+                ),
+                CollisionMode::Arbitrating => {
+                    let winner = *frames
+                        .iter()
+                        .min_by_key(|f| f.message.source)
+                        .expect("non-empty");
+                    (
+                        Observation::Collision {
+                            survivor: Some(winner),
+                        },
+                        winner.duration(),
+                    )
+                }
+            },
+        }
+    }
+
     /// Validates physical plausibility.
     ///
     /// # Errors
@@ -181,5 +221,41 @@ mod tests {
             MediumConfig::atm_internal_bus().collision_mode,
             CollisionMode::Arbitrating
         );
+    }
+
+    #[test]
+    fn resolve_matches_collision_semantics() {
+        use crate::message::{ClassId, Message, MessageId, SourceId};
+        let mk = |source: u32, bits: u64| {
+            Frame::new(
+                Message {
+                    id: MessageId(u64::from(source)),
+                    source: SourceId(source),
+                    class: ClassId(0),
+                    bits,
+                    arrival: Ticks(0),
+                    deadline: Ticks(10_000),
+                },
+                bits + 208,
+            )
+        };
+        let eth = MediumConfig::ethernet();
+        assert_eq!(eth.resolve(&[]), (Observation::Silence, Ticks(512)));
+        let lone = mk(3, 1000);
+        assert_eq!(eth.resolve(&[lone]), (Observation::Busy(lone), Ticks(1208)));
+        assert_eq!(
+            eth.resolve(&[mk(1, 100), mk(2, 100)]),
+            (Observation::Collision { survivor: None }, Ticks(512))
+        );
+        let atm = MediumConfig::atm_internal_bus();
+        let (obs, held) = atm.resolve(&[mk(5, 100), mk(2, 300), mk(7, 100)]);
+        assert_eq!(
+            obs,
+            Observation::Collision {
+                survivor: Some(mk(2, 300))
+            },
+            "lowest source wins arbitration"
+        );
+        assert_eq!(held, mk(2, 300).duration());
     }
 }

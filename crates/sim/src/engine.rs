@@ -10,7 +10,8 @@
 //! (throughput normalised to 1 bit/tick), which keeps the engine's
 //! accounting aligned with the `B_DDCR` bound of §4.3 (`Σ l'/ψ + x·S`).
 
-use crate::channel::{Action, CollisionMode, MediumConfig, Observation};
+use crate::channel::{Action, MediumConfig, Observation};
+use crate::fault::{FaultPlan, SlotFaults};
 use crate::message::{Delivery, Frame, Message};
 use crate::station::Station;
 use crate::stats::ChannelStats;
@@ -82,7 +83,17 @@ pub struct Engine {
     trace: Trace,
     /// Scratch buffer for this slot's transmitters, reused across slots so
     /// the hot loop allocates nothing.
-    transmitters: Vec<(usize, Frame)>,
+    transmitters: Vec<Frame>,
+    /// The injected-fault schedule (empty by default: zero overhead).
+    faults: FaultPlan,
+    /// Count of decision slots resolved so far — the coordinate fault
+    /// events are keyed by, identical under fast-forward and reference
+    /// stepping.
+    slot_ordinal: u64,
+    /// Per-station crash state: `Some(r)` means down until the slot with
+    /// ordinal `r` (restart processed at the start of that slot). Only ever
+    /// populated by a non-empty fault plan.
+    down: Vec<Option<u64>>,
     /// Cached `stations backlog + pending` total; valid when not stale.
     /// Silence slots cannot change any queue, so the cache only goes stale
     /// on delivered arrivals and busy/collision slots.
@@ -122,6 +133,9 @@ impl Engine {
             stats: ChannelStats::default(),
             trace: Trace::default(),
             transmitters: Vec::new(),
+            faults: FaultPlan::none(),
+            slot_ordinal: 0,
+            down: Vec::new(),
             backlog_cache: 0,
             backlog_stale: true,
             fast_forward: true,
@@ -132,7 +146,16 @@ impl Engine {
     /// must match the `SourceId`s used in the workload.
     pub fn add_station(&mut self, station: Box<dyn Station>) -> &mut Self {
         self.stations.push(station);
+        self.down.push(None);
         self.backlog_stale = true;
+        self
+    }
+
+    /// Installs an injected-fault schedule (see [`FaultPlan`]). The empty
+    /// plan — the default — leaves the engine bitwise identical to one
+    /// without fault support.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.faults = plan;
         self
     }
 
@@ -202,6 +225,17 @@ impl Engine {
     /// Current simulation time.
     pub fn now(&self) -> Ticks {
         self.now
+    }
+
+    /// Count of decision slots resolved so far (the coordinate
+    /// [`FaultPlan`] events are keyed by).
+    pub fn slot_ordinal(&self) -> u64 {
+        self.slot_ordinal
+    }
+
+    /// Whether the station at `index` is currently crashed.
+    pub fn is_down(&self, index: usize) -> bool {
+        self.down.get(index).is_some_and(|d| d.is_some())
     }
 
     /// Statistics accumulated so far.
@@ -281,7 +315,11 @@ impl Engine {
     /// station permits it, one reference slot otherwise. `limit` bounds the
     /// jump exactly where the slot-by-slot loop would stop stepping.
     fn advance(&mut self, limit: Ticks) {
-        if self.fast_forward {
+        // A slot with a fault transition due (a scheduled event, or a
+        // restart falling due) must go through the reference stepper: the
+        // fast path's early `deliver_due` would otherwise race restart
+        // processing, and a corrupted silent slot is not silent.
+        if self.fast_forward && !self.fault_transition_due() {
             self.deliver_due();
             if let Some(slots) = self.skippable_slots(limit) {
                 self.fast_forward_silence(slots);
@@ -289,6 +327,21 @@ impl Engine {
             }
         }
         self.step();
+    }
+
+    /// Whether the slot at the current ordinal needs fault processing: a
+    /// scheduled fault event strikes it, or a crashed station's down time
+    /// ends at (or before) it.
+    fn fault_transition_due(&self) -> bool {
+        if self.faults.is_empty() {
+            // Crashes only originate from the plan, so nothing can be down.
+            return false;
+        }
+        self.down
+            .iter()
+            .flatten()
+            .any(|&restart| restart <= self.slot_ordinal)
+            || !self.faults.events_at(self.slot_ordinal).is_empty()
     }
 
     /// How many guaranteed-silent slots can be jumped from `now`, if any.
@@ -300,9 +353,13 @@ impl Engine {
     /// every slot before it is provably silent. With no horizon at all the
     /// jump runs straight to `limit`, exactly like the naive stepper would.
     fn skippable_slots(&mut self, limit: Ticks) -> Option<u64> {
-        // Earliest time any station may act (None = never).
+        // Earliest time any station may act (None = never). Down stations
+        // are fenced off the channel, so their hints do not apply.
         let mut horizon: Option<Ticks> = None;
-        for station in &self.stations {
+        for (idx, station) in self.stations.iter().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
             match station.next_ready(self.now) {
                 Some(t) if t <= self.now => return None,
                 Some(t) => horizon = Some(horizon.map_or(t, |h| h.min(t))),
@@ -316,7 +373,18 @@ impl Engine {
         }
         let target = horizon.map_or(limit, |h| h.min(limit));
         let span = target.saturating_sub(self.now);
-        let slots = span.div_ceil_slots(Ticks(self.medium.slot_ticks));
+        let mut slots = span.div_ceil_slots(Ticks(self.medium.slot_ticks));
+        if !self.faults.is_empty() {
+            // Never jump over a scheduled fault or a pending restart: the
+            // slot they strike must go through the reference stepper.
+            let mut wake = self.faults.next_event_at_or_after(self.slot_ordinal);
+            for &restart in self.down.iter().flatten() {
+                wake = Some(wake.map_or(restart, |w| w.min(restart)));
+            }
+            if let Some(w) = wake {
+                slots = slots.min(w.saturating_sub(self.slot_ordinal));
+            }
+        }
         (slots > 0).then_some(slots)
     }
 
@@ -333,58 +401,87 @@ impl Engine {
                 });
             }
         }
-        for station in &mut self.stations {
+        for (idx, station) in self.stations.iter_mut().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
             station.skip_silence(self.now, slots, slot);
         }
         self.now += slot * slots;
+        self.slot_ordinal += slots;
+    }
+
+    /// Processes the fault transitions due at the current slot ordinal:
+    /// restarts first (a station whose down time ends this slot is up for
+    /// it), then newly scheduled crashes.
+    fn process_fault_transitions(&mut self) {
+        let ordinal = self.slot_ordinal;
+        for idx in 0..self.down.len() {
+            if let Some(restart) = self.down[idx] {
+                if restart <= ordinal {
+                    self.stations[idx].restart(self.now);
+                    self.stats.restarts += 1;
+                    self.down[idx] = None;
+                    self.backlog_stale = true;
+                }
+            }
+        }
+        let crashes: Vec<(u32, u64)> = self.faults.crashes_at(ordinal).collect();
+        for (station, down_slots) in crashes {
+            let idx = station as usize;
+            if idx >= self.stations.len() || self.down[idx].is_some() {
+                continue;
+            }
+            let lost = self.stations[idx].crash(self.now);
+            self.stats.lost.extend(lost);
+            self.stats.crashes += 1;
+            self.down[idx] = Some(ordinal + down_slots.max(1));
+            self.backlog_stale = true;
+        }
     }
 
     /// Executes one decision slot (the reference stepper).
     fn step(&mut self) {
+        if !self.faults.is_empty() {
+            self.process_fault_transitions();
+        }
         self.deliver_due();
         let mut transmitters = std::mem::take(&mut self.transmitters);
         transmitters.clear();
         for (idx, station) in self.stations.iter_mut().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
             if let Action::Transmit(frame) = station.poll(self.now) {
-                transmitters.push((idx, frame));
+                transmitters.push(frame);
             }
         }
         let slot = Ticks(self.medium.slot_ticks);
-        let (observation, advance) = match transmitters.len() {
-            0 => (Observation::Silence, slot),
-            1 => {
-                let frame = transmitters[0].1;
-                (Observation::Busy(frame), frame.duration())
-            }
-            _ => match self.medium.collision_mode {
-                CollisionMode::Destructive => (Observation::Collision { survivor: None }, slot),
-                CollisionMode::Arbitrating => {
-                    // Lowest source id wins bit-level arbitration.
-                    let winner = transmitters
-                        .iter()
-                        .min_by_key(|(_, f)| f.message.source)
-                        .expect("non-empty")
-                        .1;
-                    (
-                        Observation::Collision {
-                            survivor: Some(winner),
-                        },
-                        winner.duration(),
-                    )
-                }
-            },
-        };
+        let (observation, advance) = self.medium.resolve(&transmitters);
         self.transmitters = transmitters;
+        let (observation, advance, slot_faults) = if self.faults.is_empty() {
+            (observation, advance, SlotFaults::default())
+        } else {
+            self.faults
+                .apply(self.slot_ordinal, slot, observation, advance)
+        };
         let next_free = self.now + advance;
-        self.account(&observation, next_free);
-        for station in &mut self.stations {
+        self.account(&observation, next_free, &slot_faults);
+        for (idx, station) in self.stations.iter_mut().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
             station.observe(self.now, next_free, &observation);
         }
         self.now = next_free;
+        self.slot_ordinal += 1;
     }
 
     /// Updates stats and trace for one resolved slot.
-    fn account(&mut self, observation: &Observation, next_free: Ticks) {
+    fn account(&mut self, observation: &Observation, next_free: Ticks, slot_faults: &SlotFaults) {
+        if slot_faults.corrupted {
+            self.stats.corrupted_slots += 1;
+        }
         if !matches!(observation, Observation::Silence) {
             // Busy/collision slots may dequeue (or, for CSMA-CD's attempt
             // cap, drop) frames inside `observe`; re-sum lazily.
@@ -428,10 +525,23 @@ impl Engine {
                     });
                 }
             }
+            Observation::Garbled => {
+                // The channel was held but nothing got through: dead time,
+                // neither useful work nor a counted collision.
+                let frame = slot_faults
+                    .erased
+                    .expect("Garbled is only produced by an erasure fault");
+                self.stats.erased_frames += 1;
+                self.trace.record(TraceEvent::Garbled {
+                    at: self.now,
+                    message: frame.message.id,
+                });
+            }
         }
     }
 
-    /// Hands every arrival with `T ≤ now` to its station.
+    /// Hands every arrival with `T ≤ now` to its station. Arrivals for a
+    /// crashed station are recorded lost: its network module is dead.
     fn deliver_due(&mut self) {
         self.ensure_pending_sorted();
         while let Some(msg) = self.pending.last() {
@@ -439,7 +549,12 @@ impl Engine {
                 break;
             }
             let msg = self.pending.pop().expect("checked non-empty");
-            self.stations[msg.source.0 as usize].deliver(msg);
+            let idx = msg.source.0 as usize;
+            if self.down[idx].is_some() {
+                self.stats.lost.push(msg);
+            } else {
+                self.stations[idx].deliver(msg);
+            }
             self.backlog_stale = true;
         }
     }
@@ -448,6 +563,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel::CollisionMode;
     use crate::message::{ClassId, MessageId, SourceId};
     use crate::station::test_support::GreedyStation;
 
@@ -685,6 +801,124 @@ mod tests {
         e.run_to_completion(Ticks(100_000)).unwrap();
         let ids: Vec<u64> = e.stats().deliveries.iter().map(|d| d.message.id.0).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn corrupt_slot_turns_success_into_collision() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let mut e = engine_with_stations(1);
+        e.set_trace(Trace::enabled());
+        // Slot 0 is corrupted; the lone transmitter retries at slot 1.
+        e.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            slot: 0,
+            kind: FaultKind::CorruptSlot,
+        }]));
+        e.add_arrivals([msg(0, 0, 0)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        assert_eq!(e.stats().corrupted_slots, 1);
+        assert_eq!(e.stats().collisions, 1);
+        assert_eq!(e.stats().deliveries.len(), 1);
+        // Retry starts at 512 (one slot burned), completes 512 + 1208.
+        assert_eq!(e.stats().deliveries[0].completed_at, Ticks(512 + 1208));
+        assert_eq!(e.trace().render_timeline(), "X#");
+    }
+
+    #[test]
+    fn erased_frame_holds_channel_but_delivers_nothing() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let mut e = engine_with_stations(1);
+        e.set_trace(Trace::enabled());
+        e.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            slot: 0,
+            kind: FaultKind::EraseFrame,
+        }]));
+        e.add_arrivals([msg(0, 0, 0)]).unwrap();
+        e.run_to_completion(Ticks(100_000)).unwrap();
+        assert_eq!(e.stats().erased_frames, 1);
+        assert_eq!(e.stats().deliveries.len(), 1);
+        // The erased attempt held the channel for the full frame (1208
+        // ticks); the retry completes at 1208 + 1208.
+        assert_eq!(e.stats().deliveries[0].completed_at, Ticks(2 * 1208));
+        assert_eq!(e.trace().render_timeline(), "?#");
+    }
+
+    #[test]
+    fn crashed_station_is_fenced_and_its_arrivals_are_lost() {
+        use crate::fault::{FaultEvent, FaultKind};
+        let mut e = engine_with_stations(2);
+        // Station 0 crashes at slot 0 for 5 slots; its queued arrival and
+        // the one arriving while it is down are both lost. Station 1 is
+        // unaffected.
+        e.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+            slot: 0,
+            kind: FaultKind::Crash {
+                station: 0,
+                down_slots: 5,
+            },
+        }]));
+        // msg 0 and 1 arrive while station 0 is down (lost); msg 3 arrives
+        // well after its restart and goes through.
+        e.add_arrivals([msg(0, 0, 0), msg(1, 0, 600), msg(2, 1, 0), msg(3, 0, 50_000)])
+            .unwrap();
+        e.run_to_completion(Ticks(1_000_000)).unwrap();
+        assert_eq!(e.stats().crashes, 1);
+        assert_eq!(e.stats().restarts, 1);
+        assert_eq!(e.stats().lost.len(), 2);
+        assert_eq!(
+            e.stats().lost.iter().map(|m| m.id.0).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(e.stats().deliveries.len(), 2);
+        assert_eq!(e.stats().deliveries[0].message.source, SourceId(1));
+        assert_eq!(e.stats().deliveries[1].message.id, MessageId(3));
+        assert!(!e.is_down(0), "restart processed");
+    }
+
+    #[test]
+    fn fast_forward_refuses_to_skip_a_scheduled_fault() {
+        use crate::fault::{FaultEvent, FaultKind};
+        // An idle network with a corrupt fault scheduled mid-run: the slot
+        // must be stepped, observed as a collision by the (idle) station,
+        // and accounted — fast-forwarded or not.
+        let build = |fast: bool| {
+            let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+            e.set_fast_forward(fast);
+            e.set_trace(Trace::enabled());
+            e.add_station(Box::new(SleepyStation::new()));
+            e.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+                slot: 13,
+                kind: FaultKind::CorruptSlot,
+            }]));
+            e.run_until(Ticks(512 * 40));
+            e
+        };
+        let fast = build(true);
+        let reference = build(false);
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.trace().events(), reference.trace().events());
+        assert_eq!(fast.stats().corrupted_slots, 1);
+        assert_eq!(fast.stats().collisions, 1);
+        assert_eq!(fast.stats().silence_slots, 39);
+        assert_eq!(fast.trace().events()[13].at(), Ticks(13 * 512));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_invisible() {
+        let build = |with_plan: bool| {
+            let mut e = engine_with_stations(2);
+            e.set_trace(Trace::enabled());
+            if with_plan {
+                e.set_fault_plan(FaultPlan::none());
+            }
+            e.add_arrivals([msg(0, 0, 300), msg(1, 1, 40_000)]).unwrap();
+            e.run_to_completion(Ticks(10_000_000)).unwrap();
+            e
+        };
+        let with = build(true);
+        let without = build(false);
+        assert_eq!(with.stats(), without.stats());
+        assert_eq!(with.trace().events(), without.trace().events());
+        assert_eq!(with.now(), without.now());
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 mod channel;
 mod engine;
+mod fault;
 mod message;
 pub mod rng;
 mod station;
@@ -43,9 +44,10 @@ mod trace;
 
 pub use channel::{Action, CollisionMode, MediumConfig, Observation};
 pub use engine::{Engine, SimError};
-pub use message::{ClassId, Delivery, Frame, Message, MessageId, SourceId};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, SlotFaults};
+pub use message::{ClassId, Delivery, EpochStamp, Frame, Message, MessageId, SourceId};
 pub use station::Station;
-pub use stats::ChannelStats;
+pub use stats::{ChannelStats, QuantileError};
 pub use time::Ticks;
 pub use trace::{Trace, TraceEvent};
 

@@ -86,6 +86,26 @@ impl fmt::Display for Message {
     }
 }
 
+/// The shared-state coordinates of a tree-search epoch, carried in every
+/// DDCR frame header so a restarted station can resynchronize.
+///
+/// Within one epoch the protocol's shared state is a pure function of the
+/// epoch's starting coordinates and the observation sequence since, so a
+/// rejoiner that hears any frame stamped with an epoch that began after its
+/// restart can rebuild a consistent replica by replaying its buffered
+/// observations from `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EpochStamp {
+    /// Channel time at which the epoch's TTs run began.
+    pub start: Ticks,
+    /// The reference time `reft` in force when the epoch began.
+    pub reft: Ticks,
+    /// Packet-bursting reservation armed at the epoch boundary, if any:
+    /// an epoch can begin with a source still holding channel control
+    /// (the reservation is noted *before* the next TTs run starts).
+    pub burst: Option<SourceId>,
+}
+
 /// The on-channel representation of a message being transmitted: what every
 /// station can decode from a successful transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -99,15 +119,20 @@ pub struct Frame {
     /// another frame in the immediately following slot; other stations must
     /// stay off the channel for that slot.
     pub burst_more: bool,
+    /// Tree-search epoch coordinates of the transmitter's replica, if the
+    /// protocol stamps them (DDCR does; the baselines leave this `None`).
+    /// Resynchronization anchor for restarted stations.
+    pub epoch: Option<EpochStamp>,
 }
 
 impl Frame {
-    /// A plain frame with no burst continuation.
+    /// A plain frame with no burst continuation and no epoch stamp.
     pub fn new(message: Message, wire_bits: u64) -> Self {
         Frame {
             message,
             wire_bits,
             burst_more: false,
+            epoch: None,
         }
     }
 

@@ -48,6 +48,17 @@ pub fn job_seed(master_seed: u64, job_index: u64) -> u64 {
     derive_seed(master_seed ^ 0x5EED_10B5_0000_0001, job_index)
 }
 
+/// Derives the seed for fault-injection lane `lane` (one lane per fault
+/// kind) from a run's master seed.
+///
+/// Domain-separated from both [`derive_seed`] and [`job_seed`] by its own
+/// fixed tweak, so enabling fault injection never perturbs the arrival or
+/// backoff streams of the run it is injected into — a faulty run and its
+/// clean twin see identical workloads.
+pub fn fault_seed(master_seed: u64, lane: u64) -> u64 {
+    derive_seed(master_seed ^ 0xFA17_0CA5_0000_0003, lane)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +93,22 @@ mod tests {
         }
         for i in 0..1000 {
             assert!(!seen.contains(&job_seed(42, i)), "domain collision at {i}");
+        }
+    }
+
+    #[test]
+    fn fault_seeds_are_deterministic_and_domain_separated() {
+        assert_eq!(fault_seed(42, 1), fault_seed(42, 1));
+        assert_ne!(fault_seed(42, 1), fault_seed(42, 2));
+        assert_ne!(fault_seed(42, 1), fault_seed(43, 1));
+        // Disjoint from both the per-station and the job-seed spaces.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            seen.insert(derive_seed(42, i));
+            seen.insert(job_seed(42, i));
+        }
+        for i in 0..1000 {
+            assert!(!seen.contains(&fault_seed(42, i)), "domain collision at {i}");
         }
     }
 

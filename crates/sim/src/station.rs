@@ -78,6 +78,25 @@ pub trait Station {
         }
     }
 
+    /// An injected omission failure: the station loses power at `now`.
+    ///
+    /// Returns the messages lost from its local queue (the engine records
+    /// them in [`crate::ChannelStats::lost`]). While down the engine fences
+    /// the station completely — no [`Station::deliver`], [`Station::poll`]
+    /// or [`Station::observe`] calls reach it. The default keeps the queue
+    /// and freezes: correct for stateless stations; protocol stations
+    /// should drop volatile state and report what was lost.
+    fn crash(&mut self, _now: Ticks) -> Vec<Message> {
+        Vec::new()
+    }
+
+    /// The station comes back up at `now` after a [`Station::crash`].
+    ///
+    /// Default: no-op (resume as frozen). Replicated protocol stations must
+    /// instead enter a resynchronization mode and stay off the channel
+    /// until their replica state is provably consistent again.
+    fn restart(&mut self, _now: Ticks) {}
+
     /// A short label for traces and error messages.
     fn label(&self) -> String {
         format!("station(backlog={})", self.backlog())

@@ -1,8 +1,25 @@
 //! Channel-level statistics and per-run metrics.
 
-use crate::message::{Delivery, SourceId};
+use crate::message::{Delivery, Message, SourceId};
 use crate::time::Ticks;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned by [`ChannelStats::latency_quantile`] for a quantile
+/// outside `[0, 1]` (including NaN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileError {
+    /// The offending quantile.
+    pub q: f64,
+}
+
+impl fmt::Display for QuantileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "quantile must be in [0, 1], got {}", self.q)
+    }
+}
+
+impl std::error::Error for QuantileError {}
 
 /// Aggregate statistics of one simulation run.
 ///
@@ -22,6 +39,17 @@ pub struct ChannelStats {
     pub total_ticks: Ticks,
     /// Every completed transmission, in completion order.
     pub deliveries: Vec<Delivery>,
+    /// Injected-fault accounting: slots forced to read as collisions.
+    pub corrupted_slots: u64,
+    /// Injected-fault accounting: frames erased on the wire (CRC loss).
+    pub erased_frames: u64,
+    /// Injected-fault accounting: station crashes processed.
+    pub crashes: u64,
+    /// Injected-fault accounting: station restarts processed.
+    pub restarts: u64,
+    /// Messages lost to crashes: queue contents dropped at crash time plus
+    /// arrivals addressed to a station while it was down.
+    pub lost: Vec<Message>,
 }
 
 impl ChannelStats {
@@ -98,28 +126,32 @@ impl ChannelStats {
     /// Latency at quantile `q ∈ [0, 1]` (nearest-rank; 0 when nothing
     /// delivered).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `q` is outside `[0, 1]`.
-    pub fn latency_quantile(&self, q: f64) -> Ticks {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    /// Returns [`QuantileError`] if `q` is outside `[0, 1]` (NaN included)
+    /// instead of panicking, so callers fed an untrusted quantile (CLI
+    /// flags, sweep configs) can report it.
+    pub fn latency_quantile(&self, q: f64) -> Result<Ticks, QuantileError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(QuantileError { q });
+        }
         if self.deliveries.is_empty() {
-            return Ticks::ZERO;
+            return Ok(Ticks::ZERO);
         }
         let mut latencies: Vec<Ticks> = self.deliveries.iter().map(Delivery::latency).collect();
         latencies.sort_unstable();
         let rank = ((q * latencies.len() as f64).ceil() as usize)
             .clamp(1, latencies.len());
-        latencies[rank - 1]
+        Ok(latencies[rank - 1])
     }
 
     /// Median, 95th and 99th percentile latencies, for tail reporting.
     pub fn latency_percentiles(&self) -> (Ticks, Ticks, Ticks) {
-        (
-            self.latency_quantile(0.50),
-            self.latency_quantile(0.95),
-            self.latency_quantile(0.99),
-        )
+        let at = |q| {
+            self.latency_quantile(q)
+                .expect("percentile constants are in range")
+        };
+        (at(0.50), at(0.95), at(0.99))
     }
 }
 
@@ -153,6 +185,7 @@ mod tests {
                 delivery(1, 1, 10, 100, 150),  // missed by 40, latency 140
                 delivery(2, 0, 50, 500, 200),  // met, latency 150
             ],
+            ..ChannelStats::default()
         }
     }
 
@@ -189,19 +222,40 @@ mod tests {
     fn quantiles_use_nearest_rank() {
         let s = stats();
         // Sorted latencies: 90, 140, 150.
-        assert_eq!(s.latency_quantile(0.0), Ticks(90));
-        assert_eq!(s.latency_quantile(0.34), Ticks(140));
-        assert_eq!(s.latency_quantile(0.5), Ticks(140));
-        assert_eq!(s.latency_quantile(1.0), Ticks(150));
+        assert_eq!(s.latency_quantile(0.0), Ok(Ticks(90)));
+        assert_eq!(s.latency_quantile(0.34), Ok(Ticks(140)));
+        assert_eq!(s.latency_quantile(0.5), Ok(Ticks(140)));
+        assert_eq!(s.latency_quantile(1.0), Ok(Ticks(150)));
         let (p50, p95, p99) = s.latency_percentiles();
         assert_eq!((p50, p95, p99), (Ticks(140), Ticks(150), Ticks(150)));
-        assert_eq!(ChannelStats::default().latency_quantile(0.5), Ticks::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "quantile must be in")]
-    fn quantile_range_checked() {
-        stats().latency_quantile(1.5);
+    fn quantile_rejects_out_of_range_instead_of_panicking() {
+        let s = stats();
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = s.latency_quantile(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("quantile must be in [0, 1]"),
+                "unexpected error text: {err}"
+            );
+        }
+        // Out-of-range on an empty stats object is still an error, not a
+        // silent zero.
+        assert!(ChannelStats::default().latency_quantile(2.0).is_err());
+    }
+
+    #[test]
+    fn quantile_edges_and_empty_deliveries() {
+        // Empty deliveries: any in-range quantile is zero.
+        let empty = ChannelStats::default();
+        assert_eq!(empty.latency_quantile(0.0), Ok(Ticks::ZERO));
+        assert_eq!(empty.latency_quantile(0.5), Ok(Ticks::ZERO));
+        assert_eq!(empty.latency_quantile(1.0), Ok(Ticks::ZERO));
+        // Exact boundary values are in range on populated stats too.
+        let s = stats();
+        assert_eq!(s.latency_quantile(0.0), Ok(Ticks(90)));
+        assert_eq!(s.latency_quantile(1.0), Ok(Ticks(150)));
     }
 
     #[test]

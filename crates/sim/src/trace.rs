@@ -34,6 +34,14 @@ pub enum TraceEvent {
         /// Message that completed.
         message: MessageId,
     },
+    /// An injected frame erasure: the channel was held for the frame's
+    /// duration but the CRC failed everywhere and nothing was decoded.
+    Garbled {
+        /// Slot start time.
+        at: Ticks,
+        /// The message that was on the wire and lost.
+        message: MessageId,
+    },
 }
 
 impl TraceEvent {
@@ -43,7 +51,8 @@ impl TraceEvent {
             TraceEvent::Silence { at }
             | TraceEvent::Collision { at, .. }
             | TraceEvent::TxStart { at, .. }
-            | TraceEvent::TxEnd { at, .. } => at,
+            | TraceEvent::TxEnd { at, .. }
+            | TraceEvent::Garbled { at, .. } => at,
         }
     }
 }
@@ -113,8 +122,9 @@ impl Trace {
 
     /// Renders the trace as a one-character-per-event channel timeline:
     /// `.` silence, `X` collision, `A` arbitrated collision (survivor went
-    /// through), `#` a successful transmission (start through end). Useful
-    /// for eyeballing protocol behaviour in test failures and docs.
+    /// through), `#` a successful transmission (start through end), `?` an
+    /// injected frame erasure. Useful for eyeballing protocol behaviour in
+    /// test failures and docs.
     pub fn render_timeline(&self) -> String {
         let mut out = String::with_capacity(self.events.len());
         for event in &self.events {
@@ -124,6 +134,7 @@ impl Trace {
                 TraceEvent::Collision { survivor: Some(_), .. } => out.push('A'),
                 TraceEvent::TxStart { .. } => out.push('#'),
                 TraceEvent::TxEnd { .. } => {}
+                TraceEvent::Garbled { .. } => out.push('?'),
             }
         }
         out

@@ -126,7 +126,9 @@ proptest! {
                     in_flight = false;
                     last = *at;
                 }
-                TraceEvent::Silence { at } | TraceEvent::Collision { at, .. } => {
+                TraceEvent::Silence { at }
+                | TraceEvent::Collision { at, .. }
+                | TraceEvent::Garbled { at, .. } => {
                     prop_assert!(!in_flight);
                     last = *at;
                 }

@@ -8,8 +8,8 @@
 use ddcr_baseline::{CsmaCdStation, DcrStation, NpEdfOracle, QueueDiscipline};
 use ddcr_core::{DdcrConfig, DdcrStation, StaticAllocation};
 use ddcr_sim::{
-    ClassId, CollisionMode, Engine, MediumConfig, Message, MessageId, SimError, SourceId,
-    Ticks, Trace, TraceEvent,
+    ClassId, CollisionMode, Engine, FaultPlan, FaultRates, MediumConfig, Message, MessageId,
+    SimError, SourceId, Ticks, Trace, TraceEvent,
 };
 use proptest::prelude::*;
 
@@ -85,7 +85,22 @@ fn run_once(
     to_completion: bool,
     fast: bool,
 ) -> RunDigest {
+    run_with_plan(proto, z, medium, arrivals, to_completion, fast, None)
+}
+
+fn run_with_plan(
+    proto: Proto,
+    z: u32,
+    medium: MediumConfig,
+    arrivals: &[Message],
+    to_completion: bool,
+    fast: bool,
+    plan: Option<FaultPlan>,
+) -> RunDigest {
     let mut engine = build_engine(proto, z, medium, fast);
+    if let Some(plan) = plan {
+        engine.set_fault_plan(plan);
+    }
     engine.add_arrivals(arrivals.iter().copied()).unwrap();
     let outcome = if to_completion {
         Some(engine.run_to_completion(Ticks(60_000_000)))
@@ -154,6 +169,67 @@ proptest! {
         let fast = run_once(proto, z, medium, &arrivals, to_completion, true);
         let reference = run_once(proto, z, medium, &arrivals, to_completion, false);
         prop_assert_eq!(&fast, &reference);
+    }
+
+    /// The fault subsystem is a strict superset: an engine carrying a
+    /// zero-fault plan — whether the literal empty plan or one generated
+    /// from all-zero rates — is bitwise indistinguishable from an engine
+    /// with no plan at all, in both the fast-forwarding and reference
+    /// steppers, for every protocol and collision mode.
+    #[test]
+    fn zero_fault_plan_is_bitwise_invisible(
+        z in 2u32..6,
+        raw in prop::collection::vec(
+            (0u32..8, 0u64..600_000, 300_000u64..9_000_000),
+            0..16,
+        ),
+        proto_pick in 0usize..5,
+        arbitrating in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let proto = match proto_pick {
+            0 => Proto::Ddcr { theta: 0 },
+            1 => Proto::Ddcr { theta: 2 },
+            2 => Proto::CsmaCd { seed: 7 },
+            3 => Proto::Dcr,
+            _ => Proto::NpEdf,
+        };
+        let z = if matches!(proto, Proto::NpEdf) { 1 } else { z };
+        let mut medium = MediumConfig::ethernet();
+        medium.collision_mode = if arbitrating {
+            CollisionMode::Arbitrating
+        } else {
+            CollisionMode::Destructive
+        };
+        let mut at = 0u64;
+        let arrivals: Vec<Message> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(source, gap, deadline))| {
+                at += gap;
+                Message {
+                    id: MessageId(i as u64),
+                    source: SourceId(source % z),
+                    class: ClassId(0),
+                    bits: 4_000,
+                    arrival: Ticks(at),
+                    deadline: Ticks(deadline),
+                }
+            })
+            .collect();
+        let generated = FaultPlan::generate(seed, z, 50_000, &FaultRates::default());
+        prop_assert!(generated.is_empty(), "zero rates must generate no events");
+
+        let plain = run_once(proto, z, medium, &arrivals, true, true);
+        let empty_fast =
+            run_with_plan(proto, z, medium, &arrivals, true, true, Some(FaultPlan::none()));
+        let empty_reference =
+            run_with_plan(proto, z, medium, &arrivals, true, false, Some(FaultPlan::none()));
+        let generated_fast =
+            run_with_plan(proto, z, medium, &arrivals, true, true, Some(generated));
+        prop_assert_eq!(&plain, &empty_fast);
+        prop_assert_eq!(&plain, &empty_reference);
+        prop_assert_eq!(&plain, &generated_fast);
     }
 }
 

@@ -125,7 +125,9 @@ fn safety_holds_under_heavy_jamming() {
                 in_flight = true;
             }
             TraceEvent::TxEnd { .. } => in_flight = false,
-            TraceEvent::Silence { .. } | TraceEvent::Collision { .. } => {
+            TraceEvent::Silence { .. }
+            | TraceEvent::Collision { .. }
+            | TraceEvent::Garbled { .. } => {
                 assert!(!in_flight, "channel event inside a transmission");
             }
         }

@@ -35,7 +35,9 @@ fn assert_mutual_exclusion(events: &[TraceEvent]) {
                     }
                 }
             }
-            TraceEvent::Silence { .. } | TraceEvent::Collision { .. } => {
+            TraceEvent::Silence { .. }
+            | TraceEvent::Collision { .. }
+            | TraceEvent::Garbled { .. } => {
                 assert!(
                     in_flight.is_none(),
                     "channel event during an in-flight transmission"
