@@ -69,7 +69,10 @@ fn main() {
             "miss_ratio",
             "mean_latency",
             "max_latency",
+            "p50_latency",
+            "p95_latency",
             "p99_latency",
+            "xi_observed",
             "utilization",
             "collisions",
         ],
@@ -140,7 +143,10 @@ fn main() {
                 format!("{:.6}", s.miss_ratio),
                 format!("{:.1}", s.mean_latency),
                 s.max_latency.to_string(),
+                s.p50_latency.to_string(),
+                s.p95_latency.to_string(),
                 s.p99_latency.to_string(),
+                s.xi_observed.to_string(),
                 format!("{:.4}", s.utilization),
                 s.collisions.to_string(),
             ])

@@ -72,8 +72,17 @@ pub struct RunSummary {
     pub mean_latency: f64,
     /// Worst delivery latency in ticks.
     pub max_latency: u64,
-    /// 99th-percentile delivery latency in ticks.
+    /// Median delivery latency in ticks (histogram bucket upper bound).
+    pub p50_latency: u64,
+    /// 95th-percentile delivery latency in ticks (histogram bucket upper
+    /// bound).
+    pub p95_latency: u64,
+    /// 99th-percentile delivery latency in ticks (histogram bucket upper
+    /// bound).
     pub p99_latency: u64,
+    /// Worst observed per-epoch time-tree search overhead (empty + collision
+    /// slots). Zero for protocols without live ξ metrics.
+    pub xi_observed: u64,
     /// Channel utilization (busy fraction).
     pub utilization: f64,
     /// Collision events on the channel.
@@ -85,13 +94,24 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    fn from_stats(protocol: String, scheduled: usize, stats: &ChannelStats, completed: bool) -> Self {
-        let undelivered = scheduled.saturating_sub(stats.deliveries.len());
+    /// Builds a summary from streaming counters and the latency histogram
+    /// only — it never touches `stats.deliveries`, so it is exact even for
+    /// runs with delivery retention disabled.
+    fn from_stats(
+        protocol: String,
+        scheduled: usize,
+        stats: &ChannelStats,
+        completed: bool,
+        xi_observed: u64,
+    ) -> Self {
+        let delivered = usize::try_from(stats.delivered).unwrap_or(usize::MAX);
+        let undelivered = scheduled.saturating_sub(delivered);
         let misses = stats.deadline_misses() + undelivered;
+        let (p50, p95, p99) = stats.histogram_percentiles();
         RunSummary {
             protocol,
             scheduled,
-            delivered: stats.deliveries.len(),
+            delivered,
             misses,
             miss_ratio: if scheduled == 0 {
                 0.0
@@ -100,10 +120,10 @@ impl RunSummary {
             },
             mean_latency: stats.mean_latency(),
             max_latency: stats.max_latency().as_u64(),
-            p99_latency: stats
-                .latency_quantile(0.99)
-                .expect("0.99 is in range")
-                .as_u64(),
+            p50_latency: p50.as_u64(),
+            p95_latency: p95.as_u64(),
+            p99_latency: p99.as_u64(),
+            xi_observed,
             utilization: stats.utilization(),
             collisions: stats.collisions,
             total_ticks: stats.total_ticks.as_u64(),
@@ -146,6 +166,9 @@ pub fn run_protocol(
                 .map_err(|e| e.to_string())?;
             let mut engine = network::build_engine(set, config, &allocation, medium)
                 .map_err(|e| e.to_string())?;
+            let (time, static_) =
+                network::xi_bound_tables(config).map_err(|e| e.to_string())?;
+            engine.set_xi_bounds(time, static_);
             run_engine(&mut engine, schedule, budget, name, scheduled)
         }
         ProtocolKind::CsmaCd(discipline, seed) => {
@@ -173,7 +196,7 @@ pub fn run_protocol(
         ProtocolKind::NpEdf => {
             let stats = NpEdfOracle::run_schedule(medium, schedule.to_vec(), budget)
                 .map_err(|e| e.to_string())?;
-            Ok(RunSummary::from_stats(name, scheduled, &stats, true))
+            Ok(RunSummary::from_stats(name, scheduled, &stats, true, 0))
         }
     }
 }
@@ -237,15 +260,24 @@ fn run_engine(
     name: String,
     scheduled: usize,
 ) -> Result<RunSummary, String> {
+    // Sweep jobs only read streaming counters and the latency histogram,
+    // so drop per-delivery records entirely: memory stays constant however
+    // long the run is.
+    engine.set_retention(Some(0), Some(0));
     engine
         .add_arrivals(schedule.to_vec())
         .map_err(|e| e.to_string())?;
     let completed = engine.run_to_completion(budget).is_ok();
+    let xi_observed = engine
+        .take_metrics()
+        .map(|m| m.max_tts_overhead)
+        .unwrap_or(0);
     Ok(RunSummary::from_stats(
         name,
         scheduled,
         engine.stats(),
         completed,
+        xi_observed,
     ))
 }
 

@@ -5,7 +5,29 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
+/// Quotes a cell per RFC 4180 when (and only when) it contains a comma,
+/// a double quote, or a CR/LF; internal quotes are doubled. Plain cells
+/// pass through untouched, so numeric output stays byte-stable.
+fn escape_cell(cell: &str) -> String {
+    if cell.contains(['"', ',', '\r', '\n']) {
+        let mut quoted = String::with_capacity(cell.len() + 2);
+        quoted.push('"');
+        for ch in cell.chars() {
+            if ch == '"' {
+                quoted.push('"');
+            }
+            quoted.push(ch);
+        }
+        quoted.push('"');
+        quoted
+    } else {
+        cell.to_owned()
+    }
+}
+
 /// A simple CSV writer: header once, then rows of `Display`able cells.
+/// Cells that contain a delimiter, quote, or line break are quoted per
+/// RFC 4180; everything else is written verbatim.
 #[derive(Debug)]
 pub struct Csv {
     out: BufWriter<File>,
@@ -19,7 +41,8 @@ impl Csv {
     /// Returns any I/O error from creating or writing the file.
     pub fn create(path: &Path, header: &[&str]) -> std::io::Result<Self> {
         let mut out = BufWriter::new(File::create(path)?);
-        writeln!(out, "{}", header.join(","))?;
+        let rendered: Vec<String> = header.iter().map(|h| escape_cell(h)).collect();
+        writeln!(out, "{}", rendered.join(","))?;
         Ok(Csv { out })
     }
 
@@ -29,7 +52,10 @@ impl Csv {
     ///
     /// Returns any I/O error from the underlying writer.
     pub fn row<D: Display>(&mut self, cells: &[D]) -> std::io::Result<()> {
-        let rendered: Vec<String> = cells.iter().map(ToString::to_string).collect();
+        let rendered: Vec<String> = cells
+            .iter()
+            .map(|c| escape_cell(&c.to_string()))
+            .collect();
         writeln!(self.out, "{}", rendered.join(","))
     }
 
@@ -221,6 +247,79 @@ mod tests {
         csv.finish().unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "k,xi\n2,11\n4,19\n");
+    }
+
+    /// Minimal RFC-4180 reader used only to check `Csv` round-trips:
+    /// splits records honouring quoted cells (doubled quotes, embedded
+    /// commas and newlines).
+    fn parse_csv(input: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut cell = String::new();
+        let mut quoted = false;
+        let mut chars = input.chars().peekable();
+        while let Some(ch) = chars.next() {
+            if quoted {
+                match ch {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        cell.push('"');
+                    }
+                    '"' => quoted = false,
+                    other => cell.push(other),
+                }
+            } else {
+                match ch {
+                    '"' => quoted = true,
+                    ',' => row.push(std::mem::take(&mut cell)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut cell));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    '\r' => {}
+                    other => cell.push(other),
+                }
+            }
+        }
+        if !cell.is_empty() || !row.is_empty() {
+            row.push(cell);
+            rows.push(row);
+        }
+        rows
+    }
+
+    #[test]
+    fn hostile_cells_round_trip_through_rfc_4180_quoting() {
+        let dir = std::env::temp_dir().join("ddcr_csv_hostile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hostile.csv");
+        let hostile = [
+            "plain".to_owned(),
+            "comma, inside".to_owned(),
+            "quote \" inside".to_owned(),
+            "both \",\" kinds".to_owned(),
+            "line\nbreak".to_owned(),
+            "crlf\r\nbreak".to_owned(),
+            "\"leading and trailing\"".to_owned(),
+            String::new(),
+        ];
+        let mut csv = Csv::create(&path, &["label,with,commas", "plain"]).unwrap();
+        csv.row(&hostile[..2]).unwrap();
+        csv.row(&hostile[2..4]).unwrap();
+        csv.row(&hostile[4..6]).unwrap();
+        csv.row(&hostile[6..8]).unwrap();
+        csv.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let rows = parse_csv(&content);
+        assert_eq!(rows[0], vec!["label,with,commas", "plain"]);
+        assert_eq!(rows[1], &hostile[..2]);
+        assert_eq!(rows[2], &hostile[2..4]);
+        assert_eq!(rows[3], &hostile[4..6]);
+        assert_eq!(rows[4], &hostile[6..8]);
+        // Plain cells stay unquoted: downstream byte-equality checks on
+        // numeric sweep CSVs must not change.
+        assert!(content.contains(",plain\n"));
+        assert!(!content.contains("\"plain\""));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use crate::args::{ArgError, Args};
 use ddcr_baseline::QueueDiscipline;
 use ddcr_core::{dimensioning, feasibility, multibus, network, DdcrConfig, StaticAllocation};
-use ddcr_sim::{CollisionMode, Engine, FaultPlan, FaultRates, MediumConfig, SourceId, Ticks};
+use ddcr_sim::{
+    CollisionMode, Engine, FaultPlan, FaultRates, JsonlSink, MediumConfig, SourceId, Ticks,
+};
 use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
 use ddcr_tree::{asymptotic, closed_form, witness, TreeShape};
 use std::fmt::Write as _;
@@ -26,6 +28,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("multibus") => cmd_multibus(args),
         Some("check") => cmd_check(args),
         Some("faults") => cmd_faults(args),
+        Some("metrics") => cmd_metrics(args),
+        Some("trace") => cmd_trace(args),
         Some("bench-engine") => cmd_bench_engine(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -69,6 +73,16 @@ COMMANDS
                  or: --scenario ... --sources Z [--corrupt P --erase P
                      --crash P --down SLOTS] [--horizon-ms H] [--seed S]
                      [--medium ...]  (one faulted DDCR run, replayable by seed)
+  metrics      streaming observability report for a DDCR run: phase slot
+                 accounting, per-station counters, latency percentiles, and
+                 live observed-ξ checks against the analytic ξ_k^t bound
+                 (exits non-zero on any violation)
+                 --scenario ... --sources Z [--horizon-ms H] [--retain N]
+                 [--medium ...]  (see docs/OBSERVABILITY.md)
+  trace        stream the slot-level channel trace of a DDCR run as JSONL
+                 --scenario ... --sources Z --out PATH
+                 [--stepper fast|reference] [--horizon-ms H] [--medium ...]
+                 (the byte stream is identical for both steppers)
   bench-engine engine hot-path perf suite; writes the BENCH_engine.json gate
                  [--profile smoke|full] [--out PATH]  (see docs/PERF.md)
   help         this text
@@ -590,6 +604,152 @@ fn cmd_faults_check(args: &Args) -> Result<String, String> {
     }
 }
 
+fn cmd_metrics(args: &Args) -> Result<String, String> {
+    args.allow_only(&[
+        "scenario",
+        "sources",
+        "load",
+        "deadline-ms",
+        "bits",
+        "medium",
+        "horizon-ms",
+        "retain",
+    ])
+    .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let horizon_ms: u64 = args.get_or("horizon-ms", 10).map_err(|e| e.to_string())?;
+    // How many per-delivery records to keep in memory; counters and the
+    // latency histogram are exact regardless, so 0 gives a constant-memory
+    // run with full observability.
+    let retain: usize = args.get_or("retain", 0).map_err(|e| e.to_string())?;
+    let (config, allocation) = setup(&set, &medium)?;
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(horizon_ms * 1_000_000))
+        .map_err(|e| e.to_string())?;
+    let n = schedule.len();
+    let mut engine = network::build_engine(&set, &config, &allocation, medium)
+        .map_err(|e| e.to_string())?;
+    let (time, static_) = network::xi_bound_tables(&config).map_err(|e| e.to_string())?;
+    engine.set_xi_bounds(time, static_);
+    engine.set_retention(Some(retain), Some(retain));
+    engine.add_arrivals(schedule).map_err(|e| e.to_string())?;
+    let _ = engine.run_to_completion(Ticks(1_000_000_000_000));
+    let metrics = engine.take_metrics().expect("metrics enabled");
+    let stats = engine.into_stats();
+    let (p50, p95, p99) = stats.histogram_percentiles();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scheduled {n}, delivered {}, misses {}, retained {} delivery records",
+        stats.delivered,
+        stats.deadline_misses(),
+        stats.deliveries.len()
+    );
+    let _ = writeln!(
+        out,
+        "latency: mean {:.0}, p50 <= {}, p95 <= {}, p99 <= {}, max {} ticks",
+        stats.mean_latency(),
+        p50.as_u64(),
+        p95.as_u64(),
+        p99.as_u64(),
+        stats.max_latency().as_u64()
+    );
+    let ps = &metrics.phase_slots;
+    let _ = writeln!(
+        out,
+        "slots: tts {}, sts {}, attempt {}, burst {}, skipped {}, unattributed {}",
+        ps.tts, ps.sts, ps.attempt, ps.burst, ps.skipped, ps.unattributed
+    );
+    let _ = writeln!(
+        out,
+        "xi checks: {} epochs + {} STs windows checked; worst observed overhead \
+         tts {} / sts {} slots",
+        metrics.epochs_checked,
+        metrics.sts_checked,
+        metrics.max_tts_overhead,
+        metrics.max_sts_overhead
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>12} {:>11} {:>8} {:>11}",
+        "station", "transmitted", "collisions", "garbled", "queue_peak"
+    );
+    for (i, s) in metrics.stations().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>7} {:>12} {:>11} {:>8} {:>11}",
+            i, s.transmitted, s.collisions_seen, s.garbled, s.queue_high_water
+        );
+    }
+    if metrics.violations_total == 0 {
+        let _ = writeln!(out, "observed xi within the analytic bound: PASS");
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "observed xi EXCEEDED the analytic bound {} time(s):",
+            metrics.violations_total
+        );
+        for v in metrics.violations().iter().take(10) {
+            let _ = writeln!(out, "  {v}");
+        }
+        Err(out)
+    }
+}
+
+fn cmd_trace(args: &Args) -> Result<String, String> {
+    args.allow_only(&[
+        "scenario",
+        "sources",
+        "load",
+        "deadline-ms",
+        "bits",
+        "medium",
+        "horizon-ms",
+        "out",
+        "stepper",
+    ])
+    .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let horizon_ms: u64 = args.get_or("horizon-ms", 10).map_err(|e| e.to_string())?;
+    let out_path = args.require("out").map_err(|e| e.to_string())?;
+    let stepper = args.get("stepper").unwrap_or("fast");
+    let fast_forward = match stepper {
+        "fast" => true,
+        "reference" => false,
+        other => return Err(format!("unknown stepper `{other}` (fast|reference)")),
+    };
+    let (config, allocation) = setup(&set, &medium)?;
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(horizon_ms * 1_000_000))
+        .map_err(|e| e.to_string())?;
+    let mut engine = network::build_engine(&set, &config, &allocation, medium)
+        .map_err(|e| e.to_string())?;
+    engine.set_fast_forward(fast_forward);
+    let file = std::fs::File::create(out_path)
+        .map_err(|e| format!("cannot create {out_path}: {e}"))?;
+    engine.set_trace_sink(JsonlSink::new(Box::new(std::io::BufWriter::new(file))));
+    engine.add_arrivals(schedule).map_err(|e| e.to_string())?;
+    let _ = engine.run_to_completion(Ticks(1_000_000_000_000));
+    let events = engine
+        .take_trace_sink()
+        .expect("sink attached")
+        .finish()
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let stats = engine.into_stats();
+    Ok(format!(
+        "wrote {events} events ({} v{}, {stepper} stepper) to {out_path}\n\
+         delivered {}, collisions {}, {} simulated ticks\n",
+        ddcr_sim::TRACE_SCHEMA,
+        ddcr_sim::TRACE_SCHEMA_VERSION,
+        stats.delivered,
+        stats.collisions,
+        stats.total_ticks.as_u64()
+    ))
+}
+
 fn cmd_bench_engine(args: &Args) -> Result<String, String> {
     use ddcr_bench::enginebench::{check_report, run_suite, Profile, REPORT_PATH};
 
@@ -843,6 +1003,89 @@ mod tests {
         assert!(a.contains("corrupted slots"), "{a}");
         // Bitwise replayable: the same seed reproduces the exact report.
         assert_eq!(a, line());
+    }
+
+    #[test]
+    fn metrics_reports_phase_accounting_and_passes_xi_check() {
+        let out = run_line(&[
+            "metrics",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "4",
+            "--load",
+            "0.2",
+            "--horizon-ms",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("slots: tts"), "{out}");
+        assert!(out.contains("xi checks:"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+        // Default retention is 0: streaming counters only.
+        assert!(out.contains("retained 0 delivery records"), "{out}");
+        let retained = run_line(&[
+            "metrics",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "4",
+            "--load",
+            "0.2",
+            "--horizon-ms",
+            "4",
+            "--retain",
+            "5",
+        ])
+        .unwrap();
+        assert!(retained.contains("retained 5 delivery records"), "{retained}");
+    }
+
+    #[test]
+    fn trace_exports_are_bitwise_identical_across_steppers() {
+        let dir = std::env::temp_dir().join("ddcr_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fast = dir.join("fast.jsonl");
+        let reference = dir.join("reference.jsonl");
+        for (stepper, path) in [("fast", &fast), ("reference", &reference)] {
+            let out = run_line(&[
+                "trace",
+                "--scenario",
+                "uniform",
+                "--sources",
+                "4",
+                "--load",
+                "0.2",
+                "--horizon-ms",
+                "4",
+                "--stepper",
+                stepper,
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .unwrap();
+            assert!(out.contains("wrote"), "{out}");
+        }
+        let a = std::fs::read(&fast).unwrap();
+        let b = std::fs::read(&reference).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "fast and reference stepper traces diverge");
+        let text = String::from_utf8(a).unwrap();
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, "{\"schema\":\"ddcr-trace\",\"version\":1}");
+        assert!(run_line(&["trace", "--scenario", "uniform", "--sources", "2"]).is_err());
+        assert!(run_line(&[
+            "trace",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "2",
+            "--out",
+            "/tmp/x.jsonl",
+            "--stepper",
+            "psychic"
+        ])
+        .is_err());
     }
 
     #[test]

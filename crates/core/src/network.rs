@@ -5,7 +5,7 @@ use crate::config::DdcrConfig;
 use crate::error::DdcrError;
 use crate::indices::StaticAllocation;
 use crate::protocol::DdcrStation;
-use ddcr_sim::{ChannelStats, Engine, MediumConfig, Message, SourceId, Ticks};
+use ddcr_sim::{ChannelStats, Engine, MediumConfig, Message, SourceId, Ticks, XiBoundTable};
 use ddcr_traffic::MessageSet;
 
 /// How long to run a simulation.
@@ -34,6 +34,27 @@ pub fn recommended_class_width(
         .max()
         .unwrap_or(medium.slot_ticks);
     Ticks(max_d.div_ceil(time_leaves).max(medium.slot_ticks))
+}
+
+/// Builds the analytic ξ allowances for a configuration's time and static
+/// trees, for the simulator's live per-epoch overhead checks
+/// (`Engine::set_xi_bounds`). Tables come from the process-wide memoized
+/// `ξ_k^t` cache, so repeated sweep jobs share one `O(t²)` computation.
+///
+/// # Errors
+///
+/// Returns [`DdcrError::Tree`] if a table cannot be computed for either
+/// tree shape.
+pub fn xi_bound_tables(config: &DdcrConfig) -> Result<(XiBoundTable, XiBoundTable), DdcrError> {
+    let cache = ddcr_tree::cache::global();
+    let time = cache.worst_case(config.time_tree).map_err(DdcrError::Tree)?;
+    let static_ = cache
+        .worst_case(config.static_tree)
+        .map_err(DdcrError::Tree)?;
+    Ok((
+        XiBoundTable::from_envelope(config.time_tree.branching(), &time.xi_envelope()),
+        XiBoundTable::from_envelope(config.static_tree.branching(), &static_.xi_envelope()),
+    ))
 }
 
 /// Builds an engine with one [`DdcrStation`] per source of the set.
@@ -173,6 +194,39 @@ mod tests {
         )
         .unwrap();
         assert!(stats.total_ticks >= Ticks(1_000_000));
+    }
+
+    #[test]
+    fn metrics_attribute_slots_and_respect_xi_bounds() {
+        let set = scenario::uniform(4, 8_000, Ticks(2_000_000), 0.2).unwrap();
+        let medium = MediumConfig::ethernet();
+        let c = recommended_class_width(&set, 64, &medium);
+        let config = DdcrConfig::for_sources(4, c).unwrap();
+        let allocation = StaticAllocation::one_per_source(config.static_tree, 4).unwrap();
+        let schedule = ScheduleBuilder::peak_load(&set)
+            .build(Ticks(4_000_000))
+            .unwrap();
+        let mut engine = build_engine(&set, &config, &allocation, medium).unwrap();
+        let (time, static_) = xi_bound_tables(&config).unwrap();
+        engine.set_xi_bounds(time, static_);
+        engine.add_arrivals(schedule).unwrap();
+        engine.run_to_completion(Ticks(100_000_000)).unwrap();
+        let delivered = engine.stats().delivered;
+        let metrics = engine.take_metrics().unwrap();
+        assert_eq!(
+            metrics.violations_total,
+            0,
+            "observed ξ breached the analytic bound: {:?}",
+            metrics.violations()
+        );
+        // DDCR stations attribute every non-skipped slot.
+        assert_eq!(metrics.phase_slots.unattributed, 0);
+        assert!(metrics.phase_slots.tts > 0, "no TTs slots attributed");
+        assert!(metrics.epochs_checked > 0, "no epoch was ever checked");
+        // Per-station counters are consistent with the channel totals.
+        let tx: u64 = metrics.stations().iter().map(|s| s.transmitted).sum();
+        assert_eq!(tx, delivered);
+        assert!(metrics.stations().iter().any(|s| s.queue_high_water > 0));
     }
 
     #[test]

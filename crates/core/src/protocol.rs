@@ -33,7 +33,8 @@ use crate::edf::EdfQueue;
 use crate::indices::StaticAllocation;
 use crate::mts::{Interval, MtsEvent, MtsSearch, SlotOutcome};
 use ddcr_sim::{
-    Action, EpochStamp, Frame, Message, MessageId, Observation, SourceId, Station, Ticks,
+    Action, EpochStamp, Frame, Message, MessageId, Observation, PhaseHint, ProtocolPhase,
+    SourceId, Station, Ticks,
 };
 use serde::{Deserialize, Serialize};
 
@@ -690,6 +691,27 @@ impl Station for DdcrStation {
 
     fn label(&self) -> String {
         format!("ddcr:{}", self.source)
+    }
+
+    fn phase_hint(&self) -> Option<PhaseHint> {
+        // Only a synced replica can vouch for the shared automaton.
+        if !matches!(self.mode, Mode::Online) {
+            return None;
+        }
+        // A burst reservation pre-empts every phase, exactly as in `poll`.
+        let phase = if self.burst_reserved_for.is_some() {
+            ProtocolPhase::Burst
+        } else {
+            match &self.phase {
+                Phase::Tts(_) => ProtocolPhase::TimeSearch,
+                Phase::Sts { .. } => ProtocolPhase::StaticSearch,
+                Phase::Attempt => ProtocolPhase::Attempt,
+            }
+        };
+        Some(PhaseHint {
+            phase,
+            epoch_start: self.epoch_start,
+        })
     }
 }
 

@@ -13,10 +13,11 @@
 use crate::channel::{Action, MediumConfig, Observation};
 use crate::fault::{FaultPlan, SlotFaults};
 use crate::message::{Delivery, Frame, Message};
+use crate::metrics::{PhaseHint, SimMetrics, XiBoundTable};
 use crate::station::Station;
 use crate::stats::ChannelStats;
 use crate::time::Ticks;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{JsonlSink, Trace, TraceEvent};
 
 /// Error raised when assembling or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +103,10 @@ pub struct Engine {
     /// Idle fast-forward (on by default). Disable to force the reference
     /// slot-by-slot stepper, e.g. for equivalence tests.
     fast_forward: bool,
+    /// Streaming observability (None by default: zero overhead).
+    metrics: Option<SimMetrics>,
+    /// Streaming JSONL trace export (None by default).
+    sink: Option<JsonlSink>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -139,6 +144,8 @@ impl Engine {
             backlog_cache: 0,
             backlog_stale: true,
             fast_forward: true,
+            metrics: None,
+            sink: None,
         })
     }
 
@@ -162,6 +169,66 @@ impl Engine {
     /// Enables channel tracing.
     pub fn set_trace(&mut self, trace: Trace) -> &mut Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a streaming JSONL trace sink: every channel event is
+    /// written as one JSON line as it resolves, independent of (and in
+    /// addition to) the in-memory [`Trace`]. The byte stream is a pure
+    /// function of the channel history, hence bitwise identical across the
+    /// fast-forward and reference steppers.
+    pub fn set_trace_sink(&mut self, sink: JsonlSink) -> &mut Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Detaches the JSONL sink (call `finish` on it to flush and surface
+    /// I/O errors).
+    pub fn take_trace_sink(&mut self) -> Option<JsonlSink> {
+        self.sink.take()
+    }
+
+    /// Enables streaming metrics (phase accounting, per-station counters).
+    /// Idempotent; call after attaching stations or before — the per-station
+    /// table grows on demand.
+    pub fn enable_metrics(&mut self) -> &mut Self {
+        if self.metrics.is_none() {
+            self.metrics = Some(SimMetrics::new(self.stations.len()));
+        }
+        self
+    }
+
+    /// Enables metrics and installs analytic ξ allowances; observed
+    /// per-epoch overhead is checked against them live, raising
+    /// [`crate::MetricsViolation`]s on breach.
+    pub fn set_xi_bounds(&mut self, time: XiBoundTable, static_: XiBoundTable) -> &mut Self {
+        self.enable_metrics();
+        if let Some(m) = self.metrics.as_mut() {
+            m.set_xi_bounds(time, static_);
+        }
+        self
+    }
+
+    /// The metrics accumulated so far, if enabled.
+    pub fn metrics(&self) -> Option<&SimMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Detaches the metrics, closing any observation window still open
+    /// (cutoff windows are recorded but never bound-checked).
+    pub fn take_metrics(&mut self) -> Option<SimMetrics> {
+        let mut metrics = self.metrics.take()?;
+        metrics.finish();
+        Some(metrics)
+    }
+
+    /// Sets the retention policy for per-delivery and per-lost-message
+    /// records: `Some(cap)` keeps only the first `cap` in memory while the
+    /// counters and the latency histogram stay exact; `None` (the default)
+    /// retains everything. `Some(0)` gives constant-memory runs.
+    pub fn set_retention(&mut self, deliveries: Option<usize>, lost: Option<usize>) -> &mut Self {
+        self.stats.delivery_retention = deliveries;
+        self.stats.lost_retention = lost;
         self
     }
 
@@ -394,12 +461,15 @@ impl Engine {
     fn fast_forward_silence(&mut self, slots: u64) {
         let slot = Ticks(self.medium.slot_ticks);
         self.stats.silence_slots += slots;
-        if self.trace.is_enabled() {
+        if self.trace.is_enabled() || self.sink.is_some() {
             for i in 0..slots {
-                self.trace.record(TraceEvent::Silence {
+                self.emit(TraceEvent::Silence {
                     at: self.now + slot * i,
                 });
             }
+        }
+        if let Some(metrics) = self.metrics.as_mut() {
+            metrics.on_skip(slots);
         }
         for (idx, station) in self.stations.iter_mut().enumerate() {
             if self.down[idx].is_some() {
@@ -433,7 +503,9 @@ impl Engine {
                 continue;
             }
             let lost = self.stations[idx].crash(self.now);
-            self.stats.lost.extend(lost);
+            for msg in lost {
+                self.stats.push_lost(msg);
+            }
             self.stats.crashes += 1;
             self.down[idx] = Some(ordinal + down_slots.max(1));
             self.backlog_stale = true;
@@ -457,6 +529,13 @@ impl Engine {
             }
         }
         let slot = Ticks(self.medium.slot_ticks);
+        // Attribute the slot before observations mutate the shared
+        // automaton (poll never changes phase state; observe does).
+        let hint = if self.metrics.is_some() {
+            self.current_phase_hint()
+        } else {
+            None
+        };
         let (observation, advance) = self.medium.resolve(&transmitters);
         self.transmitters = transmitters;
         let (observation, advance, slot_faults) = if self.faults.is_empty() {
@@ -467,6 +546,9 @@ impl Engine {
         };
         let next_free = self.now + advance;
         self.account(&observation, next_free, &slot_faults);
+        if self.metrics.is_some() {
+            self.observe_metrics(hint, &observation, &slot_faults);
+        }
         for (idx, station) in self.stations.iter_mut().enumerate() {
             if self.down[idx].is_some() {
                 continue;
@@ -475,6 +557,68 @@ impl Engine {
         }
         self.now = next_free;
         self.slot_ordinal += 1;
+    }
+
+    /// The slot attribution from the first synced station that offers one
+    /// (replicas agree on the shared automaton, so any synced answer is
+    /// the network's answer).
+    fn current_phase_hint(&self) -> Option<PhaseHint> {
+        self.stations
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| self.down[*idx].is_none())
+            .find_map(|(_, station)| station.phase_hint())
+    }
+
+    /// Feeds one resolved slot into the metrics: phase/ξ accounting plus
+    /// the per-station counters derivable from this slot's transmitters.
+    fn observe_metrics(
+        &mut self,
+        hint: Option<PhaseHint>,
+        observation: &Observation,
+        slot_faults: &SlotFaults,
+    ) {
+        let Some(metrics) = self.metrics.as_mut() else {
+            return;
+        };
+        // Overhead/resolved per the paper's ξ accounting: silence and
+        // collisions are overhead slots; a success resolves one active
+        // leaf; a collision proves at least two.
+        let (overhead, resolved) = match observation {
+            Observation::Silence => (1, 0),
+            Observation::Busy(_) => (0, 1),
+            Observation::Collision { .. } => (1, 2),
+            Observation::Garbled => (1, 1),
+        };
+        let faulted = slot_faults.corrupted || slot_faults.erased.is_some();
+        metrics.on_slot(hint, overhead, resolved, faulted);
+        match observation {
+            Observation::Silence => {}
+            Observation::Busy(frame) => {
+                metrics.on_transmit(frame.message.source.0 as usize);
+            }
+            Observation::Collision { survivor } => {
+                for frame in &self.transmitters {
+                    metrics.on_collision_seen(frame.message.source.0 as usize);
+                }
+                if let Some(frame) = survivor {
+                    metrics.on_transmit(frame.message.source.0 as usize);
+                }
+            }
+            Observation::Garbled => {
+                if let Some(frame) = &slot_faults.erased {
+                    metrics.on_garbled(frame.message.source.0 as usize);
+                }
+            }
+        }
+    }
+
+    /// Records one channel event in the in-memory trace and the JSONL sink.
+    fn emit(&mut self, event: TraceEvent) {
+        self.trace.record(event);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&event);
+        }
     }
 
     /// Updates stats and trace for one resolved slot.
@@ -490,36 +634,36 @@ impl Engine {
         match observation {
             Observation::Silence => {
                 self.stats.silence_slots += 1;
-                self.trace.record(TraceEvent::Silence { at: self.now });
+                self.emit(TraceEvent::Silence { at: self.now });
             }
             Observation::Busy(frame) => {
                 self.stats.busy_ticks += frame.duration();
-                self.trace.record(TraceEvent::TxStart {
+                self.emit(TraceEvent::TxStart {
                     at: self.now,
                     message: frame.message.id,
                 });
-                self.trace.record(TraceEvent::TxEnd {
+                self.emit(TraceEvent::TxEnd {
                     at: next_free,
                     message: frame.message.id,
                 });
-                self.stats.deliveries.push(Delivery {
+                self.stats.push_delivery(Delivery {
                     message: frame.message,
                     completed_at: next_free,
                 });
             }
             Observation::Collision { survivor } => {
                 self.stats.collisions += 1;
-                self.trace.record(TraceEvent::Collision {
+                self.emit(TraceEvent::Collision {
                     at: self.now,
                     survivor: survivor.map(|f| f.message.id),
                 });
                 if let Some(frame) = survivor {
                     self.stats.busy_ticks += frame.duration();
-                    self.trace.record(TraceEvent::TxEnd {
+                    self.emit(TraceEvent::TxEnd {
                         at: next_free,
                         message: frame.message.id,
                     });
-                    self.stats.deliveries.push(Delivery {
+                    self.stats.push_delivery(Delivery {
                         message: frame.message,
                         completed_at: next_free,
                     });
@@ -532,7 +676,7 @@ impl Engine {
                     .erased
                     .expect("Garbled is only produced by an erasure fault");
                 self.stats.erased_frames += 1;
-                self.trace.record(TraceEvent::Garbled {
+                self.emit(TraceEvent::Garbled {
                     at: self.now,
                     message: frame.message.id,
                 });
@@ -551,9 +695,12 @@ impl Engine {
             let msg = self.pending.pop().expect("checked non-empty");
             let idx = msg.source.0 as usize;
             if self.down[idx].is_some() {
-                self.stats.lost.push(msg);
+                self.stats.push_lost(msg);
             } else {
                 self.stations[idx].deliver(msg);
+                if let Some(metrics) = self.metrics.as_mut() {
+                    metrics.note_queue_depth(idx, self.stations[idx].backlog());
+                }
             }
             self.backlog_stale = true;
         }

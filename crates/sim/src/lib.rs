@@ -36,6 +36,7 @@ mod channel;
 mod engine;
 mod fault;
 mod message;
+mod metrics;
 pub mod rng;
 mod station;
 mod stats;
@@ -46,10 +47,14 @@ pub use channel::{Action, CollisionMode, MediumConfig, Observation};
 pub use engine::{Engine, SimError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, SlotFaults};
 pub use message::{ClassId, Delivery, EpochStamp, Frame, Message, MessageId, SourceId};
+pub use metrics::{
+    LatencyHistogram, MetricsViolation, PhaseHint, PhaseSlots, ProtocolPhase, SearchKind,
+    SimMetrics, StationMetrics, XiBoundTable, HISTOGRAM_BUCKETS,
+};
 pub use station::Station;
 pub use stats::{ChannelStats, QuantileError};
 pub use time::Ticks;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{JsonlSink, Trace, TraceEvent, TRACE_SCHEMA, TRACE_SCHEMA_VERSION};
 
 #[cfg(test)]
 mod tests {

@@ -2,6 +2,7 @@
 
 use crate::channel::{Action, Observation};
 use crate::message::Message;
+use crate::metrics::PhaseHint;
 use crate::time::Ticks;
 
 /// A station (message source `s_i`) attached to the broadcast medium.
@@ -100,6 +101,18 @@ pub trait Station {
     /// A short label for traces and error messages.
     fn label(&self) -> String {
         format!("station(backlog={})", self.backlog())
+    }
+
+    /// Observability hook: attributes the decision slot about to be
+    /// resolved to a protocol phase (see [`PhaseHint`]).
+    ///
+    /// Queried by the engine after [`Station::poll`] and before
+    /// [`Station::observe`], only when metrics are enabled. A replicated
+    /// protocol should answer from its shared automaton state while synced
+    /// and `None` otherwise; the default `None` (for stations with no
+    /// phase structure) leaves the slot unattributed.
+    fn phase_hint(&self) -> Option<PhaseHint> {
+        None
     }
 }
 

@@ -1,6 +1,7 @@
 //! Channel-level statistics and per-run metrics.
 
 use crate::message::{Delivery, Message, SourceId};
+use crate::metrics::LatencyHistogram;
 use crate::time::Ticks;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -37,8 +38,28 @@ pub struct ChannelStats {
     pub busy_ticks: Ticks,
     /// Total simulated time.
     pub total_ticks: Ticks,
-    /// Every completed transmission, in completion order.
+    /// Retained completed transmissions, in completion order. With the
+    /// default retention policy (`delivery_retention: None`) this is every
+    /// delivery; under a cap only the first `cap` are kept, while the
+    /// counters and the histogram stay exact. Feed this through
+    /// [`ChannelStats::push_delivery`], never `push` directly.
     pub deliveries: Vec<Delivery>,
+    /// Exact number of completed transmissions (retention-independent).
+    pub delivered: u64,
+    /// Exact number of deliveries that missed their hard deadline.
+    pub missed_deadlines: u64,
+    /// Sum of all delivery latencies, for exact mean latency.
+    pub latency_ticks_total: u64,
+    /// Worst delivery latency observed.
+    pub worst_latency: Ticks,
+    /// Worst lateness beyond a deadline observed (zero when all met).
+    pub worst_lateness: Ticks,
+    /// Log-scale histogram of every delivery latency, for constant-memory
+    /// percentile reporting (see [`LatencyHistogram`]).
+    pub latency_histogram: LatencyHistogram,
+    /// `Some(cap)` keeps only the first `cap` deliveries in
+    /// [`ChannelStats::deliveries`]; `None` (default) retains all.
+    pub delivery_retention: Option<usize>,
     /// Injected-fault accounting: slots forced to read as collisions.
     pub corrupted_slots: u64,
     /// Injected-fault accounting: frames erased on the wire (CRC loss).
@@ -47,9 +68,16 @@ pub struct ChannelStats {
     pub crashes: u64,
     /// Injected-fault accounting: station restarts processed.
     pub restarts: u64,
-    /// Messages lost to crashes: queue contents dropped at crash time plus
-    /// arrivals addressed to a station while it was down.
+    /// Retained messages lost to crashes: queue contents dropped at crash
+    /// time plus arrivals addressed to a station while it was down. Subject
+    /// to [`ChannelStats::lost_retention`]; [`ChannelStats::lost_total`] is
+    /// always exact. Feed through [`ChannelStats::push_lost`].
     pub lost: Vec<Message>,
+    /// Exact number of messages lost to crashes (retention-independent).
+    pub lost_total: u64,
+    /// `Some(cap)` keeps only the first `cap` lost messages in
+    /// [`ChannelStats::lost`]; `None` (default) retains all.
+    pub lost_retention: Option<usize>,
 }
 
 impl ChannelStats {
@@ -63,48 +91,72 @@ impl ChannelStats {
         }
     }
 
-    /// Number of deliveries that missed their hard deadline.
+    /// Records a completed transmission: updates the exact counters and the
+    /// latency histogram, and retains the delivery itself subject to
+    /// [`ChannelStats::delivery_retention`].
+    pub fn push_delivery(&mut self, delivery: Delivery) {
+        self.delivered += 1;
+        let latency = delivery.latency();
+        self.latency_ticks_total += latency.as_u64();
+        if latency > self.worst_latency {
+            self.worst_latency = latency;
+        }
+        let lateness = delivery.lateness();
+        if lateness > self.worst_lateness {
+            self.worst_lateness = lateness;
+        }
+        if !delivery.deadline_met() {
+            self.missed_deadlines += 1;
+        }
+        self.latency_histogram.record(latency);
+        match self.delivery_retention {
+            Some(cap) if self.deliveries.len() >= cap => {}
+            _ => self.deliveries.push(delivery),
+        }
+    }
+
+    /// Records a message lost to a crash: exact count always, the message
+    /// itself subject to [`ChannelStats::lost_retention`].
+    pub fn push_lost(&mut self, message: Message) {
+        self.lost_total += 1;
+        match self.lost_retention {
+            Some(cap) if self.lost.len() >= cap => {}
+            _ => self.lost.push(message),
+        }
+    }
+
+    /// Number of deliveries that missed their hard deadline (exact,
+    /// retention-independent).
     pub fn deadline_misses(&self) -> usize {
-        self.deliveries.iter().filter(|d| !d.deadline_met()).count()
+        self.missed_deadlines as usize
     }
 
     /// Deadline miss ratio over all deliveries (0 when nothing delivered).
     pub fn miss_ratio(&self) -> f64 {
-        if self.deliveries.is_empty() {
+        if self.delivered == 0 {
             0.0
         } else {
-            self.deadline_misses() as f64 / self.deliveries.len() as f64
+            self.missed_deadlines as f64 / self.delivered as f64
         }
     }
 
-    /// Worst observed transmission latency.
+    /// Worst observed transmission latency (exact, retention-independent).
     pub fn max_latency(&self) -> Ticks {
-        self.deliveries
-            .iter()
-            .map(Delivery::latency)
-            .max()
-            .unwrap_or(Ticks::ZERO)
+        self.worst_latency
     }
 
     /// Worst observed lateness beyond a deadline (zero when all met).
     pub fn max_lateness(&self) -> Ticks {
-        self.deliveries
-            .iter()
-            .map(Delivery::lateness)
-            .max()
-            .unwrap_or(Ticks::ZERO)
+        self.worst_lateness
     }
 
-    /// Mean transmission latency (0 when nothing delivered).
+    /// Mean transmission latency (0 when nothing delivered; exact,
+    /// retention-independent).
     pub fn mean_latency(&self) -> f64 {
-        if self.deliveries.is_empty() {
+        if self.delivered == 0 {
             0.0
         } else {
-            self.deliveries
-                .iter()
-                .map(|d| d.latency().as_u64() as f64)
-                .sum::<f64>()
-                / self.deliveries.len() as f64
+            self.latency_ticks_total as f64 / self.delivered as f64
         }
     }
 
@@ -145,13 +197,32 @@ impl ChannelStats {
         Ok(latencies[rank - 1])
     }
 
-    /// Median, 95th and 99th percentile latencies, for tail reporting.
+    /// Median, 95th and 99th percentile latencies over the retained
+    /// deliveries, for tail reporting.
+    ///
+    /// Equivalent to three [`ChannelStats::latency_quantile`] calls, but
+    /// collects and sorts the latency vector once and reads all three ranks
+    /// from it (the naive form sorted three times over).
     pub fn latency_percentiles(&self) -> (Ticks, Ticks, Ticks) {
-        let at = |q| {
-            self.latency_quantile(q)
-                .expect("percentile constants are in range")
+        if self.deliveries.is_empty() {
+            return (Ticks::ZERO, Ticks::ZERO, Ticks::ZERO);
+        }
+        let mut latencies: Vec<Ticks> = self.deliveries.iter().map(Delivery::latency).collect();
+        latencies.sort_unstable();
+        let len = latencies.len();
+        let at = |q: f64| {
+            let rank = ((q * len as f64).ceil() as usize).clamp(1, len);
+            latencies[rank - 1]
         };
         (at(0.50), at(0.95), at(0.99))
+    }
+
+    /// Median, 95th and 99th percentile latencies from the always-on
+    /// log-scale histogram: exact over **all** deliveries (not just the
+    /// retained ones), at bucket granularity — each value is the upper
+    /// bound of the bucket containing the exact nearest-rank quantile.
+    pub fn histogram_percentiles(&self) -> (Ticks, Ticks, Ticks) {
+        self.latency_histogram.percentiles()
     }
 }
 
@@ -175,18 +246,17 @@ mod tests {
     }
 
     fn stats() -> ChannelStats {
-        ChannelStats {
+        let mut s = ChannelStats {
             silence_slots: 3,
             collisions: 2,
             busy_ticks: Ticks(500),
             total_ticks: Ticks(1000),
-            deliveries: vec![
-                delivery(0, 0, 0, 100, 90),    // met, latency 90
-                delivery(1, 1, 10, 100, 150),  // missed by 40, latency 140
-                delivery(2, 0, 50, 500, 200),  // met, latency 150
-            ],
             ..ChannelStats::default()
-        }
+        };
+        s.push_delivery(delivery(0, 0, 0, 100, 90)); // met, latency 90
+        s.push_delivery(delivery(1, 1, 10, 100, 150)); // missed by 40, latency 140
+        s.push_delivery(delivery(2, 0, 50, 500, 200)); // met, latency 150
+        s
     }
 
     #[test]
@@ -264,5 +334,79 @@ mod tests {
         assert_eq!(s.miss_ratio(), 0.0);
         assert_eq!(s.max_latency(), Ticks::ZERO);
         assert_eq!(s.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_match_individual_quantiles() {
+        // The single-sort fast path must agree with three independent
+        // latency_quantile calls, across delivery counts that hit every
+        // rank-rounding edge (1 element, even, odd, larger sets).
+        for n in [1u64, 2, 3, 7, 100, 101] {
+            let mut s = ChannelStats::default();
+            for i in 0..n {
+                // Deliberately non-monotone latencies.
+                let latency = (i * 37) % 91 + 1;
+                s.push_delivery(delivery(i, 0, 0, 1_000_000, latency));
+            }
+            let (p50, p95, p99) = s.latency_percentiles();
+            assert_eq!(p50, s.latency_quantile(0.50).unwrap(), "n={n}");
+            assert_eq!(p95, s.latency_quantile(0.95).unwrap(), "n={n}");
+            assert_eq!(p99, s.latency_quantile(0.99).unwrap(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn delivery_retention_caps_the_vec_but_not_the_counters() {
+        let mut s = ChannelStats {
+            delivery_retention: Some(2),
+            ..ChannelStats::default()
+        };
+        for i in 0..10u64 {
+            let met = i % 2 == 0; // half the deliveries miss
+            let done = if met { 50 } else { 200 };
+            s.push_delivery(delivery(i, 0, 0, 100, done));
+        }
+        assert_eq!(s.deliveries.len(), 2);
+        assert_eq!(s.delivered, 10);
+        assert_eq!(s.deadline_misses(), 5);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(s.max_latency(), Ticks(200));
+        assert_eq!(s.max_lateness(), Ticks(100));
+        assert!((s.mean_latency() - 125.0).abs() < 1e-12);
+        // Histogram percentiles keep working with the vec capped.
+        assert_eq!(s.latency_histogram.total(), 10);
+        let (p50, _, p99) = s.histogram_percentiles();
+        assert!(p50 >= Ticks(50) && p99 >= Ticks(200));
+    }
+
+    #[test]
+    fn lost_retention_caps_the_vec_but_not_the_count() {
+        let mut s = ChannelStats {
+            lost_retention: Some(3),
+            ..ChannelStats::default()
+        };
+        for i in 0..8u64 {
+            s.push_lost(delivery(i, 0, 0, 100, 0).message);
+        }
+        assert_eq!(s.lost.len(), 3);
+        assert_eq!(s.lost_total, 8);
+        // The first three are the ones retained.
+        assert_eq!(s.lost.iter().map(|m| m.id.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_retention_retains_nothing_but_counts_everything() {
+        let mut s = ChannelStats {
+            delivery_retention: Some(0),
+            lost_retention: Some(0),
+            ..ChannelStats::default()
+        };
+        s.push_delivery(delivery(0, 0, 0, 100, 90));
+        s.push_lost(delivery(1, 0, 0, 100, 0).message);
+        assert!(s.deliveries.is_empty());
+        assert!(s.lost.is_empty());
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.lost_total, 1);
+        assert_eq!(s.max_latency(), Ticks(90));
     }
 }

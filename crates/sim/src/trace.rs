@@ -1,8 +1,10 @@
-//! Channel event traces, for debugging and for determinism tests.
+//! Channel event traces, for debugging and for determinism tests, plus the
+//! streaming JSONL export sink.
 
 use crate::message::MessageId;
 use crate::time::Ticks;
 use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
 
 /// One channel-level event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -62,8 +64,16 @@ impl TraceEvent {
 /// Disabled by default (zero overhead); enable with [`Trace::enabled`] or
 /// bound memory with [`Trace::with_capacity`], which keeps only the most
 /// recent events.
+///
+/// The bound is amortized O(1) per event: the backing vector is allowed to
+/// grow to twice the capacity, then compacted in one `drain` that discards
+/// the oldest half. (The previous implementation shifted the whole vector
+/// with `events.remove(0)` on every record once full — O(capacity) per
+/// event, O(n·capacity) per run.)
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
+    /// Backing storage; may hold up to `2 × capacity` events between
+    /// compactions. [`Trace::events`] slices off the stale prefix.
     events: Vec<TraceEvent>,
     enabled: bool,
     capacity: Option<usize>,
@@ -101,18 +111,24 @@ impl Trace {
             return;
         }
         if let Some(cap) = self.capacity {
-            if self.events.len() == cap && cap > 0 {
-                self.events.remove(0);
-            } else if cap == 0 {
+            if cap == 0 {
                 return;
+            }
+            if self.events.len() >= cap.saturating_mul(2) {
+                // Keep the newest `cap` events; one memmove amortized over
+                // `cap` records.
+                self.events.drain(..self.events.len() - cap);
             }
         }
         self.events.push(event);
     }
 
-    /// The recorded events, oldest first.
+    /// The recorded events, oldest first (at most `capacity` of them).
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        match self.capacity {
+            Some(cap) if self.events.len() > cap => &self.events[self.events.len() - cap..],
+            _ => &self.events,
+        }
     }
 
     /// Drops all recorded events, keeping the configuration.
@@ -126,8 +142,8 @@ impl Trace {
     /// injected frame erasure. Useful for eyeballing protocol behaviour in
     /// test failures and docs.
     pub fn render_timeline(&self) -> String {
-        let mut out = String::with_capacity(self.events.len());
-        for event in &self.events {
+        let mut out = String::with_capacity(self.events().len());
+        for event in self.events() {
             match event {
                 TraceEvent::Silence { .. } => out.push('.'),
                 TraceEvent::Collision { survivor: None, .. } => out.push('X'),
@@ -138,6 +154,117 @@ impl Trace {
             }
         }
         out
+    }
+}
+
+/// Schema identifier written as the first line of every JSONL trace export.
+pub const TRACE_SCHEMA: &str = "ddcr-trace";
+/// Version of the JSONL trace schema (bump on any line-format change).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// A streaming JSONL sink for channel traces.
+///
+/// Unlike the bounded in-memory [`Trace`], a sink writes every event as one
+/// JSON line the moment the engine resolves it, so memory stays constant
+/// regardless of run length. The first line is a schema header
+/// (`{"schema":"ddcr-trace","version":1}`); each subsequent line is one
+/// [`TraceEvent`]. The byte stream is a pure function of the resolved
+/// channel history, so exports are bitwise identical across the
+/// fast-forward and reference steppers and across sweep `--jobs` counts.
+///
+/// I/O errors are latched: the first failure is kept and reported by
+/// [`JsonlSink::finish`]; later writes become no-ops.
+pub struct JsonlSink {
+    writer: Box<dyn Write>,
+    error: Option<io::Error>,
+    events: u64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("events", &self.events)
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps a writer and emits the schema header line.
+    pub fn new(writer: Box<dyn Write>) -> Self {
+        let mut sink = JsonlSink {
+            writer,
+            error: None,
+            events: 0,
+        };
+        let header =
+            format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_SCHEMA_VERSION}}}\n");
+        sink.write_line(&header);
+        sink
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Writes one event as a JSON line.
+    pub fn record(&mut self, event: &TraceEvent) {
+        let line = match *event {
+            TraceEvent::Silence { at } => {
+                format!("{{\"at\":{},\"event\":\"silence\"}}\n", at.as_u64())
+            }
+            TraceEvent::Collision { at, survivor } => match survivor {
+                Some(id) => format!(
+                    "{{\"at\":{},\"event\":\"collision\",\"survivor\":{}}}\n",
+                    at.as_u64(),
+                    id.0
+                ),
+                None => format!(
+                    "{{\"at\":{},\"event\":\"collision\",\"survivor\":null}}\n",
+                    at.as_u64()
+                ),
+            },
+            TraceEvent::TxStart { at, message } => format!(
+                "{{\"at\":{},\"event\":\"tx_start\",\"message\":{}}}\n",
+                at.as_u64(),
+                message.0
+            ),
+            TraceEvent::TxEnd { at, message } => format!(
+                "{{\"at\":{},\"event\":\"tx_end\",\"message\":{}}}\n",
+                at.as_u64(),
+                message.0
+            ),
+            TraceEvent::Garbled { at, message } => format!(
+                "{{\"at\":{},\"event\":\"garbled\",\"message\":{}}}\n",
+                at.as_u64(),
+                message.0
+            ),
+        };
+        self.write_line(&line);
+        self.events += 1;
+    }
+
+    /// Number of events recorded so far (header excluded).
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes the writer and reports the first latched I/O error, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error encountered, or the flush error.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.events)
     }
 }
 
@@ -205,5 +332,98 @@ mod tests {
         t.clear();
         assert!(t.events().is_empty());
         assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_keeps_most_recent_across_many_compactions() {
+        // Exercise the drain-compaction across many wrap-arounds: at every
+        // point the visible window must be exactly the newest `cap` events,
+        // oldest first, and the backing store must stay bounded.
+        for cap in [1usize, 2, 3, 7] {
+            let mut t = Trace::with_capacity(cap);
+            for i in 0..1000u64 {
+                t.record(TraceEvent::Silence { at: Ticks(i) });
+                let seen = t.events();
+                let expect_len = cap.min(i as usize + 1);
+                assert_eq!(seen.len(), expect_len, "cap={cap} i={i}");
+                for (j, ev) in seen.iter().enumerate() {
+                    let first = i + 1 - expect_len as u64;
+                    assert_eq!(ev.at(), Ticks(first + j as u64), "cap={cap} i={i}");
+                }
+                assert!(t.events.len() <= 2 * cap, "backing store unbounded");
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_respects_capacity_window() {
+        let mut t = Trace::with_capacity(2);
+        t.record(TraceEvent::Silence { at: Ticks(0) });
+        t.record(TraceEvent::Collision { at: Ticks(1), survivor: None });
+        t.record(TraceEvent::Garbled { at: Ticks(2), message: MessageId(0) });
+        assert_eq!(t.render_timeline(), "X?");
+    }
+
+    /// A `Write` implementation over a shared buffer, so tests can inspect
+    /// what a consumed sink wrote.
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_header_and_event_lines() {
+        let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sink = JsonlSink::new(Box::new(SharedBuf(buf.clone())));
+        sink.record(&TraceEvent::Silence { at: Ticks(0) });
+        sink.record(&TraceEvent::Collision { at: Ticks(512), survivor: None });
+        sink.record(&TraceEvent::Collision {
+            at: Ticks(1024),
+            survivor: Some(MessageId(7)),
+        });
+        sink.record(&TraceEvent::TxStart { at: Ticks(1536), message: MessageId(7) });
+        sink.record(&TraceEvent::TxEnd { at: Ticks(2000), message: MessageId(7) });
+        sink.record(&TraceEvent::Garbled { at: Ticks(2048), message: MessageId(8) });
+        assert_eq!(sink.events_written(), 6);
+        assert_eq!(sink.finish().unwrap(), 6);
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "{\"schema\":\"ddcr-trace\",\"version\":1}");
+        assert_eq!(lines[1], "{\"at\":0,\"event\":\"silence\"}");
+        assert_eq!(lines[2], "{\"at\":512,\"event\":\"collision\",\"survivor\":null}");
+        assert_eq!(lines[3], "{\"at\":1024,\"event\":\"collision\",\"survivor\":7}");
+        assert_eq!(lines[4], "{\"at\":1536,\"event\":\"tx_start\",\"message\":7}");
+        assert_eq!(lines[5], "{\"at\":2000,\"event\":\"tx_end\",\"message\":7}");
+        assert_eq!(lines[6], "{\"at\":2048,\"event\":\"garbled\",\"message\":8}");
+    }
+
+    #[test]
+    fn jsonl_sink_latches_first_io_error() {
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::other("disk full"));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // First write (the header) succeeds; the first event write fails.
+        let mut sink = JsonlSink::new(Box::new(FailAfter(1)));
+        sink.record(&TraceEvent::Silence { at: Ticks(0) });
+        sink.record(&TraceEvent::Silence { at: Ticks(512) });
+        let err = sink.finish().unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
     }
 }

@@ -93,6 +93,31 @@ impl SearchTimeTable {
         &self.xi
     }
 
+    /// The monotone envelope of the table: `out[k] = max_{2 ≤ j ≤ k} ξ_j^t`
+    /// (zero for `k < 2`).
+    ///
+    /// `ξ_k^t` itself is not monotone in `k` — it peaks below `t` and then
+    /// decreases linearly (Eq. 15) — which makes the raw table unsafe to
+    /// index with an *over-estimate* of `k`, as a live observer that can
+    /// only lower-bound the number of active leaves must. The running
+    /// maximum is monotone, so any over-estimate yields a sound (merely
+    /// looser) bound. Used by the simulator's streaming ξ checks.
+    pub fn xi_envelope(&self) -> Vec<u64> {
+        let mut running = 0u64;
+        self.xi
+            .iter()
+            .enumerate()
+            .map(|(k, &xi)| {
+                if k < 2 {
+                    0
+                } else {
+                    running = running.max(xi);
+                    running
+                }
+            })
+            .collect()
+    }
+
     /// Iterates over `(k, ξ_k^t)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.xi.iter().enumerate().map(|(k, &v)| (k as u64, v))
@@ -266,6 +291,24 @@ mod tests {
     fn rejects_huge_tables() {
         let shape = TreeShape::new(2, 25).unwrap();
         assert!(SearchTimeTable::compute(shape).is_err());
+    }
+
+    #[test]
+    fn envelope_is_monotone_and_dominates_the_table() {
+        for (m, n) in [(2u64, 6u32), (4, 3), (3, 4)] {
+            let tb = table(m, n);
+            let env = tb.xi_envelope();
+            assert_eq!(env.len(), tb.as_slice().len());
+            assert_eq!(env[0], 0);
+            assert_eq!(env[1], 0);
+            let mut expect_max = 0;
+            for k in 2..env.len() {
+                assert!(env[k] >= env[k - 1], "m={m} n={n} k={k}: not monotone");
+                assert!(env[k] >= tb.as_slice()[k], "m={m} n={n} k={k}: below ξ");
+                expect_max = expect_max.max(tb.as_slice()[k]);
+                assert_eq!(env[k], expect_max, "m={m} n={n} k={k}");
+            }
+        }
     }
 
     #[test]
