@@ -10,7 +10,7 @@
 
 use crate::queue::{LocalQueue, QueueDiscipline};
 use ddcr_sim::rng::{derive_seed, seeded_rng};
-use ddcr_sim::{Action, Frame, Message, Observation, SourceId, Station, Ticks};
+use ddcr_sim::{Action, Frame, HoldHint, Message, Observation, SourceId, Station, Ticks};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -194,6 +194,27 @@ impl Station for CsmaCdStation {
     fn skip_silence(&mut self, _from: Ticks, slots: u64, _slot: Ticks) {
         // A silence observation only decrements the backoff counter.
         self.backoff = self.backoff.saturating_sub(slots);
+    }
+
+    fn hold_hint(&self, _now: Ticks) -> HoldHint {
+        if self.queue.is_empty() {
+            // Nothing to send; busy slots only drain the backoff counter.
+            HoldHint::Quiet(u64::MAX)
+        } else if self.backoff > 0 {
+            // 1-persistent again once the backoff expires — which elapses
+            // with channel time regardless of what occupied it.
+            HoldHint::Quiet(self.backoff)
+        } else {
+            // Uncontested, the station streams its whole queue: every
+            // success resets `attempts` and leaves `backoff` at zero.
+            HoldHint::Hold(self.queue.len() as u64)
+        }
+    }
+
+    fn skip_busy(&mut self, _from: Ticks, frames: &[Frame], _slot: Ticks) {
+        // A foreign busy slot only decrements the backoff counter (the
+        // frames belong to the holding station, never to this queue).
+        self.backoff = self.backoff.saturating_sub(frames.len() as u64);
     }
 
     fn label(&self) -> String {

@@ -9,7 +9,8 @@
 //! latency any distributed MAC can achieve on the same workload, so
 //! experiment E8 uses it as the floor of the comparison.
 
-use ddcr_sim::{Action, Frame, Message, Observation, SourceId, Station, Ticks};
+use ddcr_sim::{Action, Frame, HoldHint, Message, Observation, SourceId, Station, Ticks};
+use std::collections::VecDeque;
 
 /// The centralized NP-EDF oracle: one [`Station`] that owns every queue.
 ///
@@ -38,8 +39,9 @@ use ddcr_sim::{Action, Frame, Message, Observation, SourceId, Station, Ticks};
 #[derive(Debug, Default)]
 pub struct NpEdfOracle {
     overhead_bits: u64,
-    /// Global queue, EDF order (deadline, arrival, id).
-    queue: Vec<Message>,
+    /// Global queue, EDF order (deadline, arrival, id); a deque so the
+    /// per-delivery head pop is O(1).
+    queue: VecDeque<Message>,
 }
 
 impl NpEdfOracle {
@@ -47,7 +49,7 @@ impl NpEdfOracle {
     pub fn new(medium: ddcr_sim::MediumConfig) -> Self {
         NpEdfOracle {
             overhead_bits: medium.overhead_bits,
-            queue: Vec::new(),
+            queue: VecDeque::new(),
         }
     }
 
@@ -95,7 +97,7 @@ impl Station for NpEdfOracle {
     }
 
     fn poll(&mut self, _now: Ticks) -> Action {
-        match self.queue.first() {
+        match self.queue.front() {
             Some(&head) => Action::Transmit(Frame::new(head, head.bits + self.overhead_bits)),
             None => Action::Idle,
         }
@@ -103,8 +105,8 @@ impl Station for NpEdfOracle {
 
     fn observe(&mut self, _now: Ticks, _next_free: Ticks, observation: &Observation) {
         if let Observation::Busy(frame) = observation {
-            if self.queue.first().map(|m| m.id) == Some(frame.message.id) {
-                self.queue.remove(0);
+            if self.queue.front().map(|m| m.id) == Some(frame.message.id) {
+                self.queue.pop_front();
             }
         }
     }
@@ -125,6 +127,21 @@ impl Station for NpEdfOracle {
 
     fn skip_silence(&mut self, _from: Ticks, _slots: u64, _slot: Ticks) {
         // Silence observations are a no-op (see `observe`).
+    }
+
+    fn hold_hint(&self, _now: Ticks) -> HoldHint {
+        // The oracle transmits its head unconditionally whenever it holds
+        // work: a drain of the whole queue is one committed busy run.
+        if self.queue.is_empty() {
+            HoldHint::Quiet(u64::MAX)
+        } else {
+            HoldHint::Hold(self.queue.len() as u64)
+        }
+    }
+
+    fn skip_busy(&mut self, _from: Ticks, _frames: &[Frame], _slot: Ticks) {
+        // Foreign busy slots are a no-op: message ids are globally unique,
+        // so another station's frame can never match this queue's head.
     }
 
     fn label(&self) -> String {
@@ -176,6 +193,24 @@ mod tests {
             stats.deliveries.last().unwrap().completed_at,
             Ticks(10 * wire)
         );
+    }
+
+    #[test]
+    fn tied_deadlines_serve_fifo_then_id_even_across_pops() {
+        // Six messages with the same absolute deadline: four queued up
+        // front, two landing mid-drain with a later arrival. The rotated
+        // deque must keep the (arrival, id) tie-break exact.
+        let mut schedule: Vec<Message> = (0..4).map(|i| msg(i, 0, 10_000_000)).collect();
+        schedule.extend((4..6).map(|i| Message {
+            arrival: Ticks(1_000),
+            deadline: Ticks(9_999_000), // same DM = 10_000_000
+            ..msg(i, 0, 0)
+        }));
+        let stats =
+            NpEdfOracle::run_schedule(MediumConfig::ethernet(), schedule, Ticks(100_000_000))
+                .unwrap();
+        let order: Vec<u64> = stats.deliveries.iter().map(|d| d.message.id.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]

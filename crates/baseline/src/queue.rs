@@ -2,6 +2,7 @@
 
 use ddcr_sim::{Message, MessageId};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Queue service order at a baseline station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -14,11 +15,13 @@ pub enum QueueDiscipline {
     Edf,
 }
 
-/// A small local queue with a pluggable service order.
+/// A small local queue with a pluggable service order. Backed by a
+/// `VecDeque` so the hot-path `pop` is O(1) instead of shifting the whole
+/// buffer the way `Vec::remove(0)` does.
 #[derive(Debug, Clone, Default)]
 pub struct LocalQueue {
     discipline: QueueDiscipline,
-    items: Vec<Message>,
+    items: VecDeque<Message>,
 }
 
 impl LocalQueue {
@@ -26,7 +29,7 @@ impl LocalQueue {
     pub fn new(discipline: QueueDiscipline) -> Self {
         LocalQueue {
             discipline,
-            items: Vec::new(),
+            items: VecDeque::new(),
         }
     }
 
@@ -49,25 +52,21 @@ impl LocalQueue {
 
     /// The message that would be served next.
     pub fn head(&self) -> Option<&Message> {
-        self.items.first()
+        self.items.front()
     }
 
     /// Removes the head if it matches the given id.
     pub fn pop_if(&mut self, id: MessageId) -> Option<Message> {
         if self.head().map(|m| m.id) == Some(id) {
-            Some(self.items.remove(0))
+            self.items.pop_front()
         } else {
             None
         }
     }
 
-    /// Removes and returns the head.
+    /// Removes and returns the head in O(1).
     pub fn pop(&mut self) -> Option<Message> {
-        if self.items.is_empty() {
-            None
-        } else {
-            Some(self.items.remove(0))
-        }
+        self.items.pop_front()
     }
 
     /// Number of waiting messages.
@@ -111,6 +110,29 @@ mod tests {
         q.push(msg(0, 50, 10)); // DM 60
         q.push(msg(1, 10, 1_000)); // DM 1010
         assert_eq!(q.head().unwrap().id, MessageId(0));
+    }
+
+    #[test]
+    fn tied_keys_keep_push_order_across_pops() {
+        // The service keys include the id, but fully tied keys (same id,
+        // distinguishable by bits) must stay in push order even while pops
+        // rotate the backing deque.
+        for discipline in [QueueDiscipline::Fifo, QueueDiscipline::Edf] {
+            let mut q = LocalQueue::new(discipline);
+            let mut served = Vec::new();
+            for round in 0..3u64 {
+                for step in 0..2u64 {
+                    let mut m = msg(7, 10, 90);
+                    m.bits = round * 2 + step;
+                    q.push(m);
+                }
+                served.push(q.pop().unwrap().bits);
+            }
+            while let Some(m) = q.pop() {
+                served.push(m.bits);
+            }
+            assert_eq!(served, vec![0, 1, 2, 3, 4, 5], "{discipline:?}");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Criterion benches for the engine hot path: idle fast-forward slot
-//! throughput (optimized vs the retained reference stepper), protocol
-//! drain rates at several station counts and loads, and EDF queue
-//! push/pop throughput.
+//! throughput (optimized vs the retained reference stepper), loaded
+//! (busy-period) fast-forward throughput on a bursting DDCR drain,
+//! protocol drain rates at several station counts and loads, and EDF
+//! queue push/pop throughput.
 //!
 //! These are the same scenarios the perf gate measures; `bench_engine`
 //! runs them standalone and writes `BENCH_engine.json` (see
@@ -10,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddcr_baseline::QueueDiscipline;
-use ddcr_bench::enginebench::{measure_queue, Profile};
+use ddcr_bench::enginebench::{loaded_workload, measure_queue, run_loaded, Profile};
 use ddcr_bench::harness::{default_ddcr_config, run_protocol, ProtocolKind};
 use ddcr_core::{network, StaticAllocation};
 use ddcr_sim::{MediumConfig, Ticks};
@@ -43,6 +44,23 @@ fn bench_idle_fast_forward(c: &mut Criterion) {
                     engine.run_until(horizon);
                     engine.stats().silence_slots
                 })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_loaded_fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_loaded");
+    group.sample_size(10);
+    let medium = MediumConfig::ethernet();
+    let (set, schedule, _horizon) = loaded_workload(32, 0.5, 16);
+    for (name, optimized) in [("fast_forward", true), ("reference_stepper", false)] {
+        group.bench_with_input(
+            BenchmarkId::new("loaded_32_stations_load05_burst", name),
+            &optimized,
+            |b, &optimized| {
+                b.iter(|| run_loaded(&set, &schedule, medium, optimized).0.delivered)
             },
         );
     }
@@ -95,6 +113,7 @@ fn bench_edf_queue(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_idle_fast_forward,
+    bench_loaded_fast_forward,
     bench_protocol_drain,
     bench_edf_queue
 );

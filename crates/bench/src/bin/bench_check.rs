@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Exit status 0 when the gate passes, 1 with one line per violation when
-//! it does not (missing file, malformed JSON, schema mismatch, speedup
-//! below the 2x floor, divergent fast/reference statistics, incomplete
+//! it does not (missing file, malformed JSON, schema mismatch, idle
+//! speedup below the 2x floor, loaded speedup below the 5x floor at load
+//! 0.5 on >= 32 stations, divergent fast/reference statistics, incomplete
 //! drains). `scripts/bench_check` wraps this binary for CI.
 
 use ddcr_bench::enginebench::{check_report, REPORT_PATH};
@@ -33,12 +34,32 @@ fn main() {
     };
     let violations = check_report(&doc);
     if violations.is_empty() {
-        let speedup = doc
+        let idle_speedup = doc
             .get("idle_fast_forward")
             .and_then(|i| i.get("speedup"))
             .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
-        println!("bench_check: PASS ({path}; idle fast-forward speedup {speedup:.1}x)");
+        // Headline the gated loaded entry: >= 32 stations at load 0.5.
+        let loaded_speedup = doc
+            .get("loaded_fast_forward")
+            .and_then(Json::as_array)
+            .and_then(|entries| {
+                entries
+                    .iter()
+                    .find(|e| {
+                        e.get("stations").and_then(Json::as_f64).unwrap_or(0.0) >= 32.0
+                            && (0.45..=0.55).contains(
+                                &e.get("load").and_then(Json::as_f64).unwrap_or(0.0),
+                            )
+                    })
+                    .and_then(|e| e.get("speedup"))
+                    .and_then(Json::as_f64)
+            })
+            .unwrap_or(f64::NAN);
+        println!(
+            "bench_check: PASS ({path}; idle fast-forward {idle_speedup:.1}x, \
+             loaded fast-forward {loaded_speedup:.1}x)"
+        );
     } else {
         for violation in &violations {
             eprintln!("bench_check: FAIL: {violation}");

@@ -34,6 +34,20 @@ fn main() {
         idle.reference_wall_ns as f64 / 1e6,
         idle.equivalent,
     );
+    for loaded in &report.loaded {
+        eprintln!(
+            "bench_engine: loaded fast-forward z={} load={:.1}: {}x ({} slots, {} msgs: fast {:.1} ms, reference {:.1} ms, equivalent={}, completed={})",
+            loaded.stations,
+            loaded.load,
+            format_args!("{:.1}", loaded.speedup()),
+            loaded.slots,
+            loaded.messages,
+            loaded.fast_wall_ns as f64 / 1e6,
+            loaded.reference_wall_ns as f64 / 1e6,
+            loaded.equivalent,
+            loaded.completed,
+        );
+    }
     for drain in &report.drains {
         eprintln!(
             "bench_engine: drain {} z={} load={:.1}: {:.0} Mtick/s, delivered {} (completed={})",

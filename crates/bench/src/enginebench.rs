@@ -10,10 +10,16 @@
 //!    loop). Reports slot throughput for both and their ratio; the gate
 //!    requires the speedup to be ≥ 2× and the two runs to produce
 //!    identical [`ChannelStats`].
-//! 2. **Protocol drain** — DDCR, CSMA-CD and NP-EDF draining the same
+//! 2. **Loaded fast-forward** — a busy-heavy scenario (clustered
+//!    small-message arrivals draining through bursting DDCR) run with both
+//!    fast-forward switches on versus the full reference stepper
+//!    (`set_fast_forward(false)` + `set_busy_fast_forward(false)`), across
+//!    a stations × load grid. The gate requires ≥ 5× at load 0.5 on the
+//!    ≥ 32-station scenario and identical statistics everywhere.
+//! 3. **Protocol drain** — DDCR, CSMA-CD and NP-EDF draining the same
 //!    workload at several station counts and loads; reports simulated
 //!    ticks per wall-clock second.
-//! 3. **EDF queue ops** — `EdfQueue` push/pop throughput at benchmark
+//! 4. **EDF queue ops** — `EdfQueue` push/pop throughput at benchmark
 //!    scale (exercises the `O(log n)` binary-insert path).
 //!
 //! All wall-clock numbers are single-machine and profile-dependent; the
@@ -23,13 +29,13 @@
 use crate::harness::{default_ddcr_config, run_protocol, ProtocolKind};
 use crate::json::Json;
 use ddcr_baseline::QueueDiscipline;
-use ddcr_core::{network, EdfQueue, StaticAllocation};
+use ddcr_core::{network, BurstConfig, EdfQueue, StaticAllocation};
 use ddcr_sim::{ChannelStats, ClassId, MediumConfig, Message, MessageId, SourceId, Ticks};
 use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
 use std::time::Instant;
 
 /// Current `BENCH_engine.json` schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Default report location (relative to the workspace root, like
 /// `results/`).
@@ -39,6 +45,11 @@ pub const REPORT_PATH: &str = "BENCH_engine.json";
 /// throughput multiple over the reference stepper on the idle-heavy
 /// scenario.
 pub const MIN_IDLE_SPEEDUP: f64 = 2.0;
+
+/// Gate threshold: with both fast-forward switches on, the engine must
+/// clear at least this wall-clock multiple over the full reference stepper
+/// on the loaded (≥ 32 stations, load 0.5) bursting scenario.
+pub const MIN_LOADED_SPEEDUP: f64 = 5.0;
 
 /// How much work the suite does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +94,31 @@ impl Profile {
         match self {
             Profile::Smoke => 400_000,
             Profile::Full => 4_000_000,
+        }
+    }
+
+    /// `(stations, load)` grid for the loaded fast-forward measurement.
+    /// Always includes the gated `(32, 0.5)` point.
+    fn loaded_grid(self) -> Vec<(u32, f64)> {
+        match self {
+            Profile::Smoke => vec![(8, 0.5), (32, 0.3), (32, 0.5), (32, 0.8)],
+            Profile::Full => vec![
+                (8, 0.3),
+                (8, 0.5),
+                (8, 0.8),
+                (32, 0.3),
+                (32, 0.5),
+                (32, 0.8),
+                (64, 0.5),
+            ],
+        }
+    }
+
+    /// Arrival clusters per station in the loaded scenario.
+    fn loaded_clusters(self) -> u64 {
+        match self {
+            Profile::Smoke => 16,
+            Profile::Full => 48,
         }
     }
 
@@ -139,6 +175,42 @@ impl IdleResult {
     }
 }
 
+/// Result of one loaded fast-forward measurement (bursting DDCR draining
+/// clustered small-message arrivals, fully optimized engine vs the full
+/// reference stepper).
+#[derive(Debug, Clone)]
+pub struct LoadedResult {
+    /// Stations on the channel.
+    pub stations: u32,
+    /// Offered load of the scenario.
+    pub load: f64,
+    /// Messages scheduled (all delivered when `completed`).
+    pub messages: u64,
+    /// Decision slots the reference stepper resolves
+    /// (silence + collisions + successful transmissions).
+    pub slots: u64,
+    /// Optimized wall time (min over repeats), nanoseconds.
+    pub fast_wall_ns: u64,
+    /// Reference wall time (min over repeats), nanoseconds.
+    pub reference_wall_ns: u64,
+    /// Whether fast and reference runs produced identical statistics.
+    pub equivalent: bool,
+    /// Whether both runs drained the workload inside the budget.
+    pub completed: bool,
+}
+
+impl LoadedResult {
+    /// Reference-over-fast wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.reference_wall_ns as f64 / self.fast_wall_ns.max(1) as f64
+    }
+
+    /// Slots per second for a wall time.
+    fn slots_per_sec(&self, wall_ns: u64) -> f64 {
+        self.slots as f64 * 1e9 / wall_ns.max(1) as f64
+    }
+}
+
 /// Result of one protocol drain measurement.
 #[derive(Debug, Clone)]
 pub struct DrainResult {
@@ -174,6 +246,8 @@ pub struct BenchReport {
     pub profile: Profile,
     /// Idle fast-forward measurement.
     pub idle: IdleResult,
+    /// Loaded (busy-period) fast-forward grid.
+    pub loaded: Vec<LoadedResult>,
     /// Protocol drain grid.
     pub drains: Vec<DrainResult>,
     /// EDF queue throughput.
@@ -253,6 +327,103 @@ pub fn measure_idle(profile: Profile) -> IdleResult {
     }
 }
 
+/// Clustered small-message workload for the loaded measurement: each
+/// station receives bursts of `CLUSTER_MESSAGES` 1000-bit messages, cluster
+/// start times staggered across stations so the channel mostly carries
+/// committed bursts rather than contention. The cluster period is sized so
+/// the total offered load is `load`.
+pub fn loaded_workload(
+    stations: u32,
+    load: f64,
+    clusters: u64,
+) -> (MessageSet, Vec<Message>, Ticks) {
+    const BITS: u64 = 1_000;
+    const CLUSTER_MESSAGES: u64 = 32;
+    let set = scenario::uniform(stations, BITS, Ticks(5_000_000), load)
+        .expect("loaded scenario is valid");
+    let period =
+        ((f64::from(stations) * CLUSTER_MESSAGES as f64 * BITS as f64) / load).round() as u64;
+    let stagger = period / u64::from(stations);
+    let mut schedule = Vec::new();
+    for c in 0..clusters {
+        for s in 0..stations {
+            let at = c * period + u64::from(s) * stagger;
+            for _ in 0..CLUSTER_MESSAGES {
+                schedule.push(Message {
+                    id: MessageId(schedule.len() as u64),
+                    source: SourceId(s),
+                    class: ClassId(0),
+                    bits: BITS,
+                    arrival: Ticks(at),
+                    deadline: Ticks(100_000_000),
+                });
+            }
+        }
+    }
+    (set, schedule, Ticks(clusters * period))
+}
+
+/// One loaded run: bursting DDCR over `schedule`, either fully optimized
+/// (both fast-forward switches on) or on the full reference stepper.
+/// Returns the final statistics and whether the drain completed.
+pub fn run_loaded(
+    set: &MessageSet,
+    schedule: &[Message],
+    medium: MediumConfig,
+    optimized: bool,
+) -> (ChannelStats, bool) {
+    // Bursting is what turns a cluster drain into committed multi-slot
+    // holds — the regime the busy fast-forward path exists for. The budget
+    // widened beyond the 512-byte 802.3z default keeps a whole cluster in
+    // one burst.
+    let config = default_ddcr_config(set, &medium).with_bursting(BurstConfig {
+        max_extra_bits: 32_768,
+    });
+    let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+        .expect("round robin allocation");
+    let mut engine =
+        network::build_engine(set, &config, &allocation, medium).expect("engine assembly");
+    engine.set_fast_forward(optimized);
+    engine.set_busy_fast_forward(optimized);
+    engine.set_retention(Some(0), Some(0));
+    engine.add_arrivals(schedule.to_vec()).expect("arrivals route");
+    let completed = engine.run_to_completion(Ticks(40_000_000_000)).is_ok();
+    (engine.into_stats(), completed)
+}
+
+/// Measures the loaded (busy-heavy) scenario grid with the fully optimized
+/// engine and the full reference stepper. The `(≥ 32 stations, load 0.5)`
+/// entry is the busy-period perf-gate headline number.
+pub fn measure_loaded(profile: Profile) -> Vec<LoadedResult> {
+    let medium = MediumConfig::ethernet();
+    let mut out = Vec::new();
+    for (stations, load) in profile.loaded_grid() {
+        let (set, schedule, _horizon) =
+            loaded_workload(stations, load, profile.loaded_clusters());
+        let ((fast_stats, fast_completed), fast_wall_ns) =
+            min_wall(profile.repeats(), || {
+                run_loaded(&set, &schedule, medium, true)
+            });
+        let ((reference_stats, reference_completed), reference_wall_ns) =
+            min_wall(profile.repeats(), || {
+                run_loaded(&set, &schedule, medium, false)
+            });
+        out.push(LoadedResult {
+            stations,
+            load,
+            messages: schedule.len() as u64,
+            slots: reference_stats.silence_slots
+                + reference_stats.collisions
+                + reference_stats.delivered,
+            fast_wall_ns,
+            reference_wall_ns,
+            equivalent: fast_stats == reference_stats,
+            completed: fast_completed && reference_completed,
+        });
+    }
+    out
+}
+
 /// Measures DDCR / CSMA-CD / NP-EDF draining the same workload across the
 /// profile's `(stations, load)` grid.
 pub fn measure_drains(profile: Profile) -> Vec<DrainResult> {
@@ -328,6 +499,7 @@ pub fn run_suite(profile: Profile) -> BenchReport {
     BenchReport {
         profile,
         idle: measure_idle(profile),
+        loaded: measure_loaded(profile),
         drains: measure_drains(profile),
         queue: measure_queue(profile),
     }
@@ -362,6 +534,35 @@ impl BenchReport {
                     ("speedup", Json::from(idle.speedup())),
                     ("equivalent", Json::from(idle.equivalent)),
                 ]),
+            ),
+            (
+                "loaded_fast_forward",
+                Json::Array(
+                    self.loaded
+                        .iter()
+                        .map(|l| {
+                            Json::object([
+                                ("stations", Json::from(u64::from(l.stations))),
+                                ("load", Json::from(l.load)),
+                                ("messages", Json::from(l.messages)),
+                                ("slots", Json::from(l.slots)),
+                                ("fast_wall_ns", Json::from(l.fast_wall_ns)),
+                                ("reference_wall_ns", Json::from(l.reference_wall_ns)),
+                                (
+                                    "fast_slots_per_sec",
+                                    Json::from(l.slots_per_sec(l.fast_wall_ns)),
+                                ),
+                                (
+                                    "reference_slots_per_sec",
+                                    Json::from(l.slots_per_sec(l.reference_wall_ns)),
+                                ),
+                                ("speedup", Json::from(l.speedup())),
+                                ("equivalent", Json::from(l.equivalent)),
+                                ("completed", Json::from(l.completed)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "protocol_drain",
@@ -455,6 +656,47 @@ pub fn check_report(doc: &Json) -> Vec<String> {
         }
     }
 
+    match doc.get("loaded_fast_forward").and_then(Json::as_array) {
+        None => fail("missing loaded_fast_forward".into()),
+        Some([]) => fail("loaded_fast_forward is empty".into()),
+        Some(entries) => {
+            let mut gated = 0usize;
+            for (i, entry) in entries.iter().enumerate() {
+                if entry.get("equivalent").and_then(Json::as_bool) != Some(true) {
+                    fail(format!("loaded_fast_forward[{i}].equivalent must be true"));
+                }
+                if entry.get("completed").and_then(Json::as_bool) != Some(true) {
+                    fail(format!("loaded_fast_forward[{i}] did not complete"));
+                }
+                for key in ["slots", "fast_wall_ns", "reference_wall_ns"] {
+                    match entry.get(key).and_then(Json::as_f64) {
+                        Some(v) if v > 0.0 => {}
+                        other => fail(format!(
+                            "loaded_fast_forward[{i}].{key} must be > 0, got {other:?}"
+                        )),
+                    }
+                }
+                let stations = entry.get("stations").and_then(Json::as_f64).unwrap_or(0.0);
+                let load = entry.get("load").and_then(Json::as_f64).unwrap_or(0.0);
+                if stations >= 32.0 && (0.45..=0.55).contains(&load) {
+                    gated += 1;
+                    match entry.get("speedup").and_then(Json::as_f64) {
+                        Some(s) if s >= MIN_LOADED_SPEEDUP => {}
+                        Some(s) => fail(format!(
+                            "loaded_fast_forward[{i}].speedup {s:.2} below gate \
+                             {MIN_LOADED_SPEEDUP} (z={stations}, load={load})"
+                        )),
+                        None => fail(format!("missing loaded_fast_forward[{i}].speedup")),
+                    }
+                }
+            }
+            if gated == 0 {
+                fail("loaded_fast_forward has no gated entry (>= 32 stations at load 0.5)"
+                    .into());
+            }
+        }
+    }
+
     match doc.get("protocol_drain").and_then(Json::as_array) {
         None => fail("missing protocol_drain".into()),
         Some([]) => fail("protocol_drain is empty".into()),
@@ -502,6 +744,16 @@ mod tests {
                 reference_wall_ns: 50_000,
                 equivalent: true,
             },
+            loaded: vec![LoadedResult {
+                stations: 32,
+                load: 0.5,
+                messages: 6_144,
+                slots: 20_000,
+                fast_wall_ns: 2_000,
+                reference_wall_ns: 20_000,
+                equivalent: true,
+                completed: true,
+            }],
             drains: vec![DrainResult {
                 protocol: "ddcr".into(),
                 stations: 8,
@@ -555,14 +807,78 @@ mod tests {
 
     #[test]
     fn missing_sections_are_reported() {
-        let doc = Json::parse(r#"{"schema_version": 1}"#).unwrap();
+        let doc = Json::parse(r#"{"schema_version": 2}"#).unwrap();
         let violations = check_report(&doc);
-        for needle in ["profile", "idle_fast_forward", "protocol_drain", "edf_queue"] {
+        for needle in [
+            "profile",
+            "idle_fast_forward",
+            "loaded_fast_forward",
+            "protocol_drain",
+            "edf_queue",
+        ] {
             assert!(
                 violations.iter().any(|v| v.contains(needle)),
                 "no violation mentioning {needle}: {violations:?}"
             );
         }
+    }
+
+    #[test]
+    fn outdated_schema_version_fails_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            map.insert("schema_version".into(), Json::Number(1.0));
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("schema_version")));
+    }
+
+    #[test]
+    fn slow_loaded_path_fails_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("loaded_fast_forward") {
+                if let Some(Json::Object(entry)) = entries.first_mut() {
+                    entry.insert("speedup".into(), Json::Number(3.0));
+                }
+            }
+        }
+        let violations = check_report(&doc);
+        assert!(
+            violations.iter().any(|v| v.contains("below gate")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn divergent_loaded_stats_fail_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("loaded_fast_forward") {
+                if let Some(Json::Object(entry)) = entries.first_mut() {
+                    entry.insert("equivalent".into(), Json::Bool(false));
+                }
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("loaded_fast_forward[0].equivalent")));
+    }
+
+    #[test]
+    fn loaded_grid_without_gated_point_fails() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("loaded_fast_forward") {
+                if let Some(Json::Object(entry)) = entries.first_mut() {
+                    entry.insert("stations".into(), Json::Number(8.0));
+                }
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("no gated entry")));
     }
 
     #[test]

@@ -81,8 +81,11 @@ COMMANDS
                  [--medium ...]  (see docs/OBSERVABILITY.md)
   trace        stream the slot-level channel trace of a DDCR run as JSONL
                  --scenario ... --sources Z --out PATH
-                 [--stepper fast|reference] [--horizon-ms H] [--medium ...]
-                 (the byte stream is identical for both steppers)
+                 [--stepper fast|reference] [--busy-skip on|off]
+                 [--horizon-ms H] [--medium ...]
+                 (the byte stream is identical for every stepper and
+                  busy-skip combination; the independent switches exist
+                  for bisecting a divergence to one fast path)
   bench-engine engine hot-path perf suite; writes the BENCH_engine.json gate
                  [--profile smoke|full] [--out PATH]  (see docs/PERF.md)
   help         this text
@@ -709,6 +712,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         "horizon-ms",
         "out",
         "stepper",
+        "busy-skip",
     ])
     .map_err(|e| e.to_string())?;
     let set = set_from(args)?;
@@ -721,6 +725,19 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         "reference" => false,
         other => return Err(format!("unknown stepper `{other}` (fast|reference)")),
     };
+    // Busy-period fast-forward toggles independently of the idle stepper so
+    // a trace divergence can be bisected to one of the two fast paths.
+    // `--stepper reference` alone still disables it (full reference run).
+    let busy_skip = args.get("busy-skip").unwrap_or(if fast_forward {
+        "on"
+    } else {
+        "off"
+    });
+    let busy_fast_forward = match busy_skip {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown busy-skip `{other}` (on|off)")),
+    };
     let (config, allocation) = setup(&set, &medium)?;
     let schedule = ScheduleBuilder::peak_load(&set)
         .build(Ticks(horizon_ms * 1_000_000))
@@ -728,6 +745,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     let mut engine = network::build_engine(&set, &config, &allocation, medium)
         .map_err(|e| e.to_string())?;
     engine.set_fast_forward(fast_forward);
+    engine.set_busy_fast_forward(busy_fast_forward);
     let file = std::fs::File::create(out_path)
         .map_err(|e| format!("cannot create {out_path}: {e}"))?;
     engine.set_trace_sink(JsonlSink::new(Box::new(std::io::BufWriter::new(file))));
@@ -740,7 +758,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     let stats = engine.into_stats();
     Ok(format!(
-        "wrote {events} events ({} v{}, {stepper} stepper) to {out_path}\n\
+        "wrote {events} events ({} v{}, {stepper} stepper, busy-skip {busy_skip}) to {out_path}\n\
          delivered {}, collisions {}, {} simulated ticks\n",
         ddcr_sim::TRACE_SCHEMA,
         ddcr_sim::TRACE_SCHEMA_VERSION,
@@ -1045,9 +1063,15 @@ mod tests {
     fn trace_exports_are_bitwise_identical_across_steppers() {
         let dir = std::env::temp_dir().join("ddcr_cli_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let fast = dir.join("fast.jsonl");
-        let reference = dir.join("reference.jsonl");
-        for (stepper, path) in [("fast", &fast), ("reference", &reference)] {
+        // Full bisection matrix: idle stepper x busy-skip. Every byte
+        // stream must be identical to the full reference run.
+        let matrix = [
+            ("fast", "on", dir.join("fast_on.jsonl")),
+            ("fast", "off", dir.join("fast_off.jsonl")),
+            ("reference", "on", dir.join("reference_on.jsonl")),
+            ("reference", "off", dir.join("reference_off.jsonl")),
+        ];
+        for (stepper, busy_skip, path) in &matrix {
             let out = run_line(&[
                 "trace",
                 "--scenario",
@@ -1060,17 +1084,25 @@ mod tests {
                 "4",
                 "--stepper",
                 stepper,
+                "--busy-skip",
+                busy_skip,
                 "--out",
                 path.to_str().unwrap(),
             ])
             .unwrap();
             assert!(out.contains("wrote"), "{out}");
+            assert!(out.contains(&format!("busy-skip {busy_skip}")), "{out}");
         }
-        let a = std::fs::read(&fast).unwrap();
-        let b = std::fs::read(&reference).unwrap();
-        assert!(!a.is_empty());
-        assert_eq!(a, b, "fast and reference stepper traces diverge");
-        let text = String::from_utf8(a).unwrap();
+        let reference = std::fs::read(&matrix[3].2).unwrap();
+        assert!(!reference.is_empty());
+        for (stepper, busy_skip, path) in &matrix[..3] {
+            let bytes = std::fs::read(path).unwrap();
+            assert_eq!(
+                bytes, reference,
+                "stepper={stepper} busy-skip={busy_skip} trace diverges from full reference"
+            );
+        }
+        let text = String::from_utf8(reference).unwrap();
         let header = text.lines().next().unwrap();
         assert_eq!(header, "{\"schema\":\"ddcr-trace\",\"version\":1}");
         assert!(run_line(&["trace", "--scenario", "uniform", "--sources", "2"]).is_err());
@@ -1084,6 +1116,18 @@ mod tests {
             "/tmp/x.jsonl",
             "--stepper",
             "psychic"
+        ])
+        .is_err());
+        assert!(run_line(&[
+            "trace",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "2",
+            "--out",
+            "/tmp/x.jsonl",
+            "--busy-skip",
+            "maybe"
         ])
         .is_err());
     }

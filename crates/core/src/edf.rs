@@ -5,13 +5,15 @@
 //! time and then message id, which keeps every replica of the protocol
 //! state machine deterministic.
 //!
-//! The queue is a sorted vector rather than a heap: protocol code needs
+//! The queue is a sorted deque rather than a heap: protocol code needs
 //! cheap access to the first *and second* elements (packet bursting decides
 //! whether a follow-up frame exists before releasing the channel), queues
 //! are short in practice, and a totally ordered backing store makes the
-//! replica state trivially comparable in tests.
+//! replica state trivially comparable in tests. A `VecDeque` keeps the
+//! hot-path `pop` O(1) where a `Vec::remove(0)` would shift every element.
 
 use ddcr_sim::{Message, MessageId, Ticks};
+use std::collections::VecDeque;
 
 /// Ordering key: earliest deadline first, then FIFO, then id.
 type Key = (Ticks, Ticks, MessageId);
@@ -41,13 +43,15 @@ fn key(m: &Message) -> Key {
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct EdfQueue {
     /// Sorted ascending by [`key`].
-    items: Vec<Message>,
+    items: VecDeque<Message>,
 }
 
 impl EdfQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        EdfQueue { items: Vec::new() }
+        EdfQueue {
+            items: VecDeque::new(),
+        }
     }
 
     /// Inserts a message; the EDF order is maintained automatically.
@@ -70,7 +74,7 @@ impl EdfQueue {
     /// The current `msg*` — the earliest-deadline message — or `None` when
     /// the queue is empty.
     pub fn head(&self) -> Option<&Message> {
-        self.items.first()
+        self.items.front()
     }
 
     /// The message that would become `msg*` after the head transmits
@@ -79,13 +83,9 @@ impl EdfQueue {
         self.items.get(1)
     }
 
-    /// Removes and returns `msg*`.
+    /// Removes and returns `msg*` in O(1).
     pub fn pop(&mut self) -> Option<Message> {
-        if self.items.is_empty() {
-            None
-        } else {
-            Some(self.items.remove(0))
-        }
+        self.items.pop_front()
     }
 
     /// Removes the head only if it is the given message (used when a
@@ -108,14 +108,14 @@ impl EdfQueue {
         self.items.is_empty()
     }
 
-    /// The queued messages in EDF order.
-    pub fn as_slice(&self) -> &[Message] {
-        &self.items
+    /// Iterates the queued messages in EDF order.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+        self.items.iter()
     }
 
     /// Drains the queue in EDF order (mainly for tests and teardown).
     pub fn drain_sorted(&mut self) -> Vec<Message> {
-        std::mem::take(&mut self.items)
+        std::mem::take(&mut self.items).into()
     }
 }
 
@@ -201,15 +201,30 @@ mod tests {
     }
 
     #[test]
-    fn as_slice_exposes_edf_order() {
+    fn iter_exposes_edf_order() {
         let mut q = EdfQueue::new();
         q.push(msg(2, 0, 300));
         q.push(msg(1, 0, 100));
-        let dms: Vec<u64> = q
-            .as_slice()
-            .iter()
-            .map(|m| m.absolute_deadline().as_u64())
-            .collect();
+        let dms: Vec<u64> = q.iter().map(|m| m.absolute_deadline().as_u64()).collect();
         assert_eq!(dms, vec![100, 300]);
+    }
+
+    #[test]
+    fn popping_interleaved_with_tied_pushes_keeps_fifo_order() {
+        // Regression for the O(1) pop path: deque rotation must not
+        // disturb the stable position of key-tied messages.
+        let mut q = EdfQueue::new();
+        let mut popped = Vec::new();
+        for round in 0..4u64 {
+            let mut a = msg(10 + round, 10, 90);
+            a.bits = round * 2;
+            let mut b = msg(10 + round, 10, 90);
+            b.bits = round * 2 + 1;
+            q.push(a);
+            q.push(b);
+            popped.push(q.pop().unwrap().bits);
+        }
+        popped.extend(q.drain_sorted().iter().map(|m| m.bits));
+        assert_eq!(popped, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 }

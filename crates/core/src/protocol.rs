@@ -33,8 +33,8 @@ use crate::edf::EdfQueue;
 use crate::indices::StaticAllocation;
 use crate::mts::{Interval, MtsEvent, MtsSearch, SlotOutcome};
 use ddcr_sim::{
-    Action, EpochStamp, Frame, Message, MessageId, Observation, PhaseHint, ProtocolPhase,
-    SourceId, Station, Ticks,
+    Action, EpochStamp, Frame, HoldHint, Message, MessageId, Observation, PhaseHint,
+    ProtocolPhase, SourceId, Station, Ticks,
 };
 use serde::{Deserialize, Serialize};
 
@@ -689,6 +689,61 @@ impl Station for DdcrStation {
         }
     }
 
+    fn hold_hint(&self, _now: Ticks) -> HoldHint {
+        if !matches!(self.mode, Mode::Online) {
+            // A resynchronizing replica is receive-only but may rejoin on
+            // any frame it hears; keep it on the reference path.
+            return HoldHint::Contend;
+        }
+        match self.burst_reserved_for {
+            Some(holder) if holder == self.source => {
+                // The burst chain is fully determined by the queue prefix
+                // that fits the remaining budget: `poll` transmits while
+                // the head fits, and each continuation's `burst_more` flag
+                // re-arms the reservation exactly while a successor fits.
+                let mut remaining = self.burst_budget;
+                let mut frames = 0u64;
+                for msg in self.queue.iter() {
+                    if msg.bits > remaining {
+                        break;
+                    }
+                    remaining -= msg.bits;
+                    frames += 1;
+                }
+                if frames == 0 {
+                    HoldHint::Contend
+                } else {
+                    HoldHint::Hold(frames)
+                }
+            }
+            // Another source holds the channel: this replica polls Idle
+            // until the reservation lapses.
+            Some(_) => HoldHint::Quiet(u64::MAX),
+            None => HoldHint::Contend,
+        }
+    }
+
+    fn skip_busy(&mut self, from: Ticks, frames: &[Frame], _slot: Ticks) {
+        // While a foreign burst holds the channel, `observe_burst_slot`
+        // short-circuits the whole automaton: a foreign success only
+        // rewrites the reservation (`note_delivery` touches neither the
+        // queue nor the counters for frames we did not send), so the last
+        // frame's `burst_more` flag alone decides the post-run state.
+        if matches!(self.mode, Mode::Online) && self.burst_reserved_for.is_some() {
+            if let Some(last) = frames.last() {
+                self.burst_reserved_for = last.burst_more.then_some(last.message.source);
+            }
+            return;
+        }
+        // Resynchronizing (or any unforeseen) state: exact per-frame replay.
+        let mut at = from;
+        for frame in frames {
+            let next_free = at + frame.duration();
+            self.observe(at, next_free, &Observation::Busy(*frame));
+            at = next_free;
+        }
+    }
+
     fn label(&self) -> String {
         format!("ddcr:{}", self.source)
     }
@@ -1211,6 +1266,91 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn skip_busy_matches_replay_for_quiet_replica() {
+        let cfg = config().with_bursting(crate::config::BurstConfig::default());
+        let medium = MediumConfig::ethernet();
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, 2).unwrap();
+        let mk = |i| {
+            DdcrStation::new(SourceId(i), cfg, allocation.clone(), medium.overhead_bits)
+                .unwrap()
+        };
+        let mut holder = mk(0);
+        let mut replay = mk(1);
+        let mut skipping = mk(1);
+        for i in 0..3 {
+            holder.deliver(Message {
+                bits: 1_000,
+                ..msg(i, 0, 0, 2_000_000)
+            });
+        }
+        // Drive all replicas until the acquisition frame arms the burst
+        // reservation network-wide.
+        let mut now = Ticks::ZERO;
+        loop {
+            let action = holder.poll(now);
+            let (obs, advance) = match action {
+                Action::Transmit(f) => (Observation::Busy(f), f.duration()),
+                Action::Idle => (Observation::Silence, Ticks(512)),
+            };
+            let next_free = now + advance;
+            holder.observe(now, next_free, &obs);
+            replay.observe(now, next_free, &obs);
+            skipping.observe(now, next_free, &obs);
+            now = next_free;
+            if matches!(obs, Observation::Busy(_)) {
+                break;
+            }
+        }
+        assert_eq!(holder.hold_hint(now), HoldHint::Hold(2));
+        assert_eq!(replay.hold_hint(now), HoldHint::Quiet(u64::MAX));
+        // The holder streams its two continuations; one quiet replica
+        // observes them frame by frame, the other absorbs them in one
+        // skip_busy call — the digests must agree.
+        let from = now;
+        let mut frames = Vec::new();
+        for _ in 0..2 {
+            let Action::Transmit(f) = holder.poll(now) else {
+                panic!("holder broke its hold commitment");
+            };
+            let next_free = now + f.duration();
+            holder.observe(now, next_free, &Observation::Busy(f));
+            replay.observe(now, next_free, &Observation::Busy(f));
+            frames.push(f);
+            now = next_free;
+        }
+        skipping.skip_busy(from, &frames, Ticks(512));
+        assert_eq!(full_digest(&replay), full_digest(&skipping));
+        assert_eq!(replay.shared_state_digest(), holder.shared_state_digest());
+        assert_eq!(holder.counters().burst_continuations, 2);
+        assert_eq!(holder.hold_hint(now), HoldHint::Contend);
+    }
+
+    #[test]
+    fn busy_fast_forward_matches_reference_for_bursting_network() {
+        let run = |fast: bool, busy: bool| {
+            let cfg = config().with_bursting(crate::config::BurstConfig::default());
+            let mut engine = network(4, cfg, MediumConfig::ethernet());
+            engine.set_fast_forward(fast);
+            engine.set_busy_fast_forward(busy);
+            // Clustered small messages so acquisitions chain into bursts.
+            let arrivals: Vec<Message> = (0..16)
+                .map(|i| Message {
+                    bits: 1_000,
+                    ..msg(i, (i % 4) as u32, (i / 4) * 50_000, 8_000_000)
+                })
+                .collect();
+            engine.add_arrivals(arrivals).unwrap();
+            engine.run_to_completion(Ticks(50_000_000)).unwrap();
+            engine.into_stats()
+        };
+        let reference = run(false, false);
+        assert_eq!(reference.deliveries.len(), 16);
+        for (fast, busy) in [(true, true), (false, true), (true, false)] {
+            assert_eq!(run(fast, busy), reference, "fast={fast} busy={busy}");
         }
     }
 

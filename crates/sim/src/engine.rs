@@ -14,7 +14,7 @@ use crate::channel::{Action, MediumConfig, Observation};
 use crate::fault::{FaultPlan, SlotFaults};
 use crate::message::{Delivery, Frame, Message};
 use crate::metrics::{PhaseHint, SimMetrics, XiBoundTable};
-use crate::station::Station;
+use crate::station::{HoldHint, Station};
 use crate::stats::ChannelStats;
 use crate::time::Ticks;
 use crate::trace::{JsonlSink, Trace, TraceEvent};
@@ -103,6 +103,13 @@ pub struct Engine {
     /// Idle fast-forward (on by default). Disable to force the reference
     /// slot-by-slot stepper, e.g. for equivalence tests.
     fast_forward: bool,
+    /// Busy-period fast-forward (on by default): back-to-back committed
+    /// transmissions by a single holder are run without polling the quiet
+    /// stations each slot. Independently switchable from `fast_forward`
+    /// for bisection.
+    busy_fast_forward: bool,
+    /// Scratch buffer for the frames of one busy run, reused across runs.
+    busy_frames: Vec<Frame>,
     /// Streaming observability (None by default: zero overhead).
     metrics: Option<SimMetrics>,
     /// Streaming JSONL trace export (None by default).
@@ -144,6 +151,8 @@ impl Engine {
             backlog_cache: 0,
             backlog_stale: true,
             fast_forward: true,
+            busy_fast_forward: true,
+            busy_frames: Vec::new(),
             metrics: None,
             sink: None,
         })
@@ -241,6 +250,21 @@ impl Engine {
     /// switch exists for those tests and for benchmarking the speedup.
     pub fn set_fast_forward(&mut self, enabled: bool) -> &mut Self {
         self.fast_forward = enabled;
+        self
+    }
+
+    /// Enables or disables busy-period fast-forward (on by default),
+    /// independently of [`Engine::set_fast_forward`] so either mechanism
+    /// can be bisected on its own.
+    ///
+    /// With busy fast-forward on, a run of back-to-back committed
+    /// transmissions (a DDCR burst, a backlog drain with every contender
+    /// quiet — see [`HoldHint`]) resolves without polling the quiet
+    /// stations each slot; they are caught up once per run through
+    /// [`Station::skip_busy`]. Statistics, traces, metrics attribution and
+    /// fault fencing are bitwise identical to the reference stepper.
+    pub fn set_busy_fast_forward(&mut self, enabled: bool) -> &mut Self {
+        self.busy_fast_forward = enabled;
         self
     }
 
@@ -342,7 +366,7 @@ impl Engine {
     /// Runs until `deadline` (inclusive of the slot straddling it).
     pub fn run_until(&mut self, deadline: Ticks) {
         while self.now < deadline {
-            self.advance(deadline);
+            self.advance(deadline, false);
         }
         self.stats.total_ticks = self.now;
     }
@@ -365,7 +389,7 @@ impl Engine {
                     backlog,
                 });
             }
-            self.advance(max);
+            self.advance(max, true);
             backlog = self.tracked_backlog();
         }
         self.stats.total_ticks = self.now;
@@ -379,17 +403,37 @@ impl Engine {
     }
 
     /// Advances the simulation: a fast-forwarded silence run when every
-    /// station permits it, one reference slot otherwise. `limit` bounds the
-    /// jump exactly where the slot-by-slot loop would stop stepping.
-    fn advance(&mut self, limit: Ticks) {
+    /// station permits it, a fast-forwarded busy run when exactly one
+    /// station holds the channel and the rest stay quiet, one reference
+    /// slot otherwise. `limit` bounds both jumps exactly where the
+    /// slot-by-slot loop would stop stepping. `stop_on_drain` is set by
+    /// [`Engine::run_to_completion`], whose loop exits as soon as the
+    /// backlog drains — a jump must not outrun that check.
+    fn advance(&mut self, limit: Ticks, stop_on_drain: bool) {
         // A slot with a fault transition due (a scheduled event, or a
         // restart falling due) must go through the reference stepper: the
         // fast path's early `deliver_due` would otherwise race restart
-        // processing, and a corrupted silent slot is not silent.
-        if self.fast_forward && !self.fault_transition_due() {
+        // processing, and a corrupted silent slot is not silent (nor is a
+        // corrupted busy slot busy).
+        if (self.fast_forward || self.busy_fast_forward) && !self.fault_transition_due() {
             self.deliver_due();
-            if let Some(slots) = self.skippable_slots(limit) {
-                self.fast_forward_silence(slots);
+            if stop_on_drain && self.backlog_stale && self.tracked_backlog() == 0 {
+                // `deliver_due` just recorded the final pending arrivals as
+                // lost (their station is down; a live delivery would have
+                // left the backlog non-zero). The reference loop runs
+                // exactly one more slot before its drain check stops it, so
+                // a multi-slot jump here would overshoot the termination
+                // point.
+                self.step();
+                return;
+            }
+            if self.fast_forward {
+                if let Some(slots) = self.skippable_slots(limit) {
+                    self.fast_forward_silence(slots);
+                    return;
+                }
+            }
+            if self.busy_fast_forward && self.try_busy_run(limit) {
                 return;
             }
         }
@@ -479,6 +523,119 @@ impl Engine {
         }
         self.now += slot * slots;
         self.slot_ordinal += slots;
+    }
+
+    /// Attempts a fast-forwarded busy run from `now`. Returns `true` when
+    /// at least one committed transmission was resolved.
+    ///
+    /// Call only after [`Engine::deliver_due`] with no fault transition
+    /// due. Gathers every live station's [`Station::hold_hint`]; the run
+    /// proceeds only when exactly one answers [`HoldHint::Hold`] and all
+    /// others answer [`HoldHint::Quiet`]. The run length is capped by
+    /// every hint, the next scheduled fault/restart ordinal (mirroring
+    /// [`Engine::skippable_slots`]' fencing), the next pending arrival,
+    /// and `limit`.
+    fn try_busy_run(&mut self, limit: Ticks) -> bool {
+        let mut holder: Option<usize> = None;
+        let mut max_frames = u64::MAX;
+        for (idx, station) in self.stations.iter().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
+            match station.hold_hint(self.now) {
+                HoldHint::Contend => return false,
+                HoldHint::Quiet(n) => {
+                    if n == 0 {
+                        return false;
+                    }
+                    max_frames = max_frames.min(n);
+                }
+                HoldHint::Hold(n) => {
+                    if holder.is_some() || n == 0 {
+                        return false;
+                    }
+                    holder = Some(idx);
+                    max_frames = max_frames.min(n);
+                }
+            }
+        }
+        let Some(holder) = holder else {
+            return false;
+        };
+        if !self.faults.is_empty() {
+            // Never run into a scheduled fault or a pending restart: the
+            // slot they strike must go through the reference stepper.
+            let mut wake = self.faults.next_event_at_or_after(self.slot_ordinal);
+            for &restart in self.down.iter().flatten() {
+                wake = Some(wake.map_or(restart, |w| w.min(restart)));
+            }
+            if let Some(w) = wake {
+                max_frames = max_frames.min(w.saturating_sub(self.slot_ordinal));
+            }
+        }
+        if max_frames == 0 {
+            return false;
+        }
+        self.run_busy(holder, max_frames, limit)
+    }
+
+    /// The busy-run duet loop: polls and observes only the holder, slot by
+    /// slot, with full per-slot statistics / trace / metrics accounting
+    /// (each busy slot is attributed exactly as the reference stepper
+    /// would), then catches the quiet stations up once through
+    /// [`Station::skip_busy`]. Stops before any frame whose start slot has
+    /// a pending arrival due, and at `limit`, exactly where the reference
+    /// loop would stop.
+    fn run_busy(&mut self, holder: usize, max_frames: u64, limit: Ticks) -> bool {
+        let mut frames = std::mem::take(&mut self.busy_frames);
+        frames.clear();
+        let from = self.now;
+        let slot = Ticks(self.medium.slot_ticks);
+        while (frames.len() as u64) < max_frames && self.now < limit {
+            if self.pending.last().is_some_and(|m| m.arrival <= self.now) {
+                // The reference stepper would deliver this arrival before
+                // polling; stop so the next `advance` does exactly that.
+                break;
+            }
+            let Action::Transmit(frame) = self.stations[holder].poll(self.now) else {
+                // A `Hold` answer is a binding commitment (see
+                // [`HoldHint`]); the default hint never holds, and every
+                // in-tree protocol honours it.
+                unreachable!("station {holder} broke its HoldHint::Hold commitment");
+            };
+            // A lone uncontested transmitter always resolves to `Busy` and
+            // holds the channel for its frame duration — the invariant
+            // that makes the run deterministic.
+            let observation = Observation::Busy(frame);
+            let next_free = self.now + frame.duration();
+            let hint = if self.metrics.is_some() {
+                self.current_phase_hint()
+            } else {
+                None
+            };
+            self.account(&observation, next_free, &SlotFaults::default());
+            if self.metrics.is_some() {
+                self.observe_metrics(hint, &observation, &SlotFaults::default());
+            }
+            self.stations[holder].observe(self.now, next_free, &observation);
+            frames.push(frame);
+            self.now = next_free;
+            self.slot_ordinal += 1;
+        }
+        let done = frames.len() as u64;
+        if done > 0 {
+            for (idx, station) in self.stations.iter_mut().enumerate() {
+                if idx == holder || self.down[idx].is_some() {
+                    continue;
+                }
+                station.skip_busy(from, &frames, slot);
+            }
+            if let Some(metrics) = self.metrics.as_mut() {
+                metrics.on_busy_skip(done);
+            }
+        }
+        self.busy_frames = frames;
+        done > 0
     }
 
     /// Processes the fault transitions due at the current slot ordinal:
@@ -938,6 +1095,177 @@ mod tests {
         e.add_station(Box::new(station));
         e.run_until(Ticks(512 * 64));
         assert_eq!(skipped.get(), 64);
+    }
+
+    /// A greedy transmitter that additionally implements the busy
+    /// fast-forward contract: it commits to draining its whole queue when
+    /// it holds work and promises silence otherwise.
+    struct HoldingStation {
+        inner: GreedyStation,
+        busy_skipped: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl HoldingStation {
+        fn new() -> Self {
+            HoldingStation {
+                inner: GreedyStation::new(MediumConfig::ethernet().overhead_bits),
+                busy_skipped: std::rc::Rc::default(),
+            }
+        }
+    }
+
+    impl Station for HoldingStation {
+        fn deliver(&mut self, message: Message) {
+            self.inner.deliver(message);
+        }
+        fn poll(&mut self, now: Ticks) -> Action {
+            self.inner.poll(now)
+        }
+        fn observe(&mut self, now: Ticks, next_free: Ticks, observation: &Observation) {
+            self.inner.observe(now, next_free, observation);
+        }
+        fn backlog(&self) -> usize {
+            self.inner.backlog()
+        }
+        fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+            if self.inner.queue.is_empty() {
+                None
+            } else {
+                Some(now)
+            }
+        }
+        fn hold_hint(&self, _now: Ticks) -> HoldHint {
+            if self.inner.queue.is_empty() {
+                HoldHint::Quiet(u64::MAX)
+            } else {
+                HoldHint::Hold(self.inner.queue.len() as u64)
+            }
+        }
+        fn skip_busy(&mut self, from: Ticks, frames: &[Frame], slot: Ticks) {
+            self.busy_skipped.set(self.busy_skipped.get() + frames.len() as u64);
+            // Foreign frames never match this queue; replay only records
+            // the observations, exactly like the reference stepper.
+            let mut at = from;
+            for frame in frames {
+                let next_free = at + frame.duration();
+                self.observe(at, next_free, &Observation::Busy(*frame));
+                at = next_free;
+            }
+            let _ = slot;
+        }
+    }
+
+    /// Builds a two-station [`HoldingStation`] engine with the given
+    /// fast-forward switches and returns it plus the quiet station's
+    /// busy-skip counter.
+    fn holding_pair(
+        fast: bool,
+        busy: bool,
+    ) -> (Engine, std::rc::Rc<std::cell::Cell<u64>>) {
+        let mut e = Engine::new(MediumConfig::ethernet()).unwrap();
+        e.set_fast_forward(fast);
+        e.set_busy_fast_forward(busy);
+        e.set_trace(Trace::enabled());
+        let holder = HoldingStation::new();
+        let quiet = HoldingStation::new();
+        let skipped = quiet.busy_skipped.clone();
+        e.add_station(Box::new(holder));
+        e.add_station(Box::new(quiet));
+        (e, skipped)
+    }
+
+    #[test]
+    fn busy_run_matches_reference_stepper_bitwise() {
+        // A five-frame drain at station 0 while station 1 stays quiet,
+        // then a later lone frame from station 1: every switch combination
+        // must produce identical stats, trace, and timing.
+        let run = |fast: bool, busy: bool| {
+            let (mut e, skipped) = holding_pair(fast, busy);
+            e.add_arrivals((0..5).map(|i| msg(i, 0, 0)))
+                .unwrap();
+            e.add_arrivals([msg(9, 1, 40_000)]).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            (e, skipped)
+        };
+        let (reference, ref_skipped) = run(false, false);
+        assert_eq!(ref_skipped.get(), 0, "reference must not busy-skip");
+        for (fast, busy) in [(true, true), (false, true), (true, false)] {
+            let (e, skipped) = run(fast, busy);
+            assert_eq!(e.now(), reference.now(), "fast={fast} busy={busy}");
+            assert_eq!(e.stats(), reference.stats(), "fast={fast} busy={busy}");
+            assert_eq!(
+                e.trace().events(),
+                reference.trace().events(),
+                "fast={fast} busy={busy}"
+            );
+            // Bisection: the quiet station is caught up in bulk exactly
+            // when busy fast-forward is on.
+            assert_eq!(skipped.get() > 0, busy, "fast={fast} busy={busy}");
+        }
+    }
+
+    #[test]
+    fn busy_run_stops_for_an_arrival_landing_mid_drain() {
+        // The second batch lands while frame 2 of the drain is on the wire;
+        // the run must break at the next decision slot so the arrival is
+        // delivered exactly where the reference stepper would.
+        let run = |busy: bool| {
+            let (mut e, _) = holding_pair(true, busy);
+            e.add_arrivals((0..3).map(|i| msg(i, 0, 0))).unwrap();
+            e.add_arrivals([msg(7, 0, 1_500)]).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            e
+        };
+        let fast = run(true);
+        let reference = run(false);
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.trace().events(), reference.trace().events());
+        assert_eq!(fast.stats().deliveries.len(), 4);
+        // Frames go back to back: 4 × 1208 ticks, no silence in between.
+        assert_eq!(fast.stats().deliveries[3].completed_at, Ticks(4 * 1208));
+    }
+
+    #[test]
+    fn busy_run_refuses_to_cross_a_scheduled_fault() {
+        use crate::fault::{FaultEvent, FaultKind};
+        // An erasure strikes slot 2, mid-drain: the busy run must stop at
+        // ordinal 2 and hand the slot to the reference stepper.
+        let run = |busy: bool| {
+            let (mut e, _) = holding_pair(true, busy);
+            e.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+                slot: 2,
+                kind: FaultKind::EraseFrame,
+            }]));
+            e.add_arrivals((0..4).map(|i| msg(i, 0, 0))).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            e
+        };
+        let fast = run(true);
+        let reference = run(false);
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.trace().events(), reference.trace().events());
+        assert_eq!(fast.stats().erased_frames, 1);
+        assert_eq!(fast.stats().deliveries.len(), 4);
+    }
+
+    #[test]
+    fn busy_run_metrics_are_fully_attributed() {
+        // Busy-skipped slots keep exact per-slot metrics attribution; the
+        // skip counters are telemetry on top, not an accounting bucket.
+        let run = |busy: bool| {
+            let (mut e, _) = holding_pair(true, busy);
+            e.enable_metrics();
+            e.add_arrivals((0..5).map(|i| msg(i, 0, 0))).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            e.take_metrics().unwrap()
+        };
+        let fast = run(true);
+        let reference = run(false);
+        assert_eq!(fast.phase_slots, reference.phase_slots);
+        assert_eq!(fast.violations_total, reference.violations_total);
+        assert_eq!(fast.busy_skipped_slots, 5);
+        assert_eq!(fast.busy_skip_runs, 1);
+        assert_eq!(reference.busy_skipped_slots, 0);
     }
 
     #[test]

@@ -354,6 +354,13 @@ pub struct SimMetrics {
     violations: Vec<MetricsViolation>,
     /// Exact violation count (the retained list is capped).
     pub violations_total: u64,
+    /// Busy decision slots resolved inside busy fast-forward runs. Unlike
+    /// [`PhaseSlots::skipped`], these slots are *fully* attributed through
+    /// [`SimMetrics::on_slot`] (the holder is stepped frame by frame), so
+    /// this is pure fast-path telemetry, not an accounting bucket.
+    pub busy_skipped_slots: u64,
+    /// Number of busy fast-forward runs.
+    pub busy_skip_runs: u64,
 }
 
 impl SimMetrics {
@@ -573,6 +580,21 @@ impl SimMetrics {
     /// pre- and post-skip epochs from mixing.
     pub fn on_skip(&mut self, slots: u64) {
         self.phase_slots.skipped += slots;
+    }
+
+    /// Notes a fast-forwarded busy run of `slots` committed transmissions.
+    ///
+    /// The mirror of [`SimMetrics::on_skip`] for the busy path, but — in
+    /// contrast to silence skips — every slot of a busy run has already
+    /// been attributed through [`SimMetrics::on_slot`] (the holder is
+    /// polled and observed frame by frame, and the quiet stations' shared
+    /// phase state is frozen for the duration of the run, so the per-slot
+    /// [`PhaseHint`]s are the reference stepper's). Observed-ξ windows are
+    /// therefore *exact* across busy skips, not merely conservative. This
+    /// method only updates the fast-path telemetry counters.
+    pub fn on_busy_skip(&mut self, slots: u64) {
+        self.busy_skipped_slots += slots;
+        self.busy_skip_runs += 1;
     }
 
     /// Closes any windows still open (a run cutoff mid-search); they are

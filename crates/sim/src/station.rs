@@ -1,9 +1,32 @@
 //! The station abstraction every MAC protocol implements.
 
 use crate::channel::{Action, Observation};
-use crate::message::Message;
+use crate::message::{Frame, Message};
 use crate::metrics::PhaseHint;
 use crate::time::Ticks;
+
+/// How a station relates to an upcoming stretch of **busy** decision
+/// slots (see [`Station::hold_hint`]).
+///
+/// The engine only fast-forwards a busy run when exactly one live station
+/// answers [`HoldHint::Hold`] and every other live station answers
+/// [`HoldHint::Quiet`]; any [`HoldHint::Contend`] vetoes the run and the
+/// slot goes through the reference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldHint {
+    /// No promise: the station must be polled this slot (the conservative
+    /// default).
+    Contend,
+    /// The station guarantees it polls [`Action::Idle`] for the next `n`
+    /// decision slots, *even if* each of those slots carries a successful
+    /// transmission by another station. `u64::MAX` means "for as long as
+    /// nothing new is delivered to me".
+    Quiet(u64),
+    /// The station commits to transmitting exactly one frame per decision
+    /// slot for the next `n` slots, provided every one of those frames
+    /// goes out uncontested and nothing new is delivered to it meanwhile.
+    Hold(u64),
+}
 
 /// A station (message source `s_i`) attached to the broadcast medium.
 ///
@@ -101,6 +124,43 @@ pub trait Station {
     /// A short label for traces and error messages.
     fn label(&self) -> String {
         format!("station(backlog={})", self.backlog())
+    }
+
+    /// Busy fast-forward hint: how this station relates to the next
+    /// stretch of busy (single-transmitter) decision slots.
+    ///
+    /// Queried by the engine after deliveries, before polling, when busy
+    /// fast-forward is enabled. The engine jumps a run of back-to-back
+    /// successful transmissions only when exactly one live station answers
+    /// [`HoldHint::Hold`] and all others answer [`HoldHint::Quiet`]; the
+    /// run length is capped by every hint, the next pending arrival, the
+    /// next scheduled fault ordinal, and the run limit. During the run the
+    /// holder is still polled and observed slot by slot (its frames carry
+    /// real payload state); the quiet stations are caught up once at the
+    /// end via [`Station::skip_busy`]. The default `Contend` never
+    /// fast-forwards and is correct for every implementation.
+    fn hold_hint(&self, _now: Ticks) -> HoldHint {
+        HoldHint::Contend
+    }
+
+    /// Absorbs a fast-forwarded run of busy decision slots: `frames` were
+    /// transmitted back to back by another station, the first slot
+    /// starting at `from`, each occupying exactly its frame duration;
+    /// `slot` is the medium's slot width in ticks.
+    ///
+    /// Called by the engine instead of per-slot [`Station::observe`] on
+    /// every quiet station when a busy run is skipped (see
+    /// [`Station::hold_hint`]). Must be behaviourally identical to
+    /// observing the corresponding [`Observation::Busy`] outcomes one by
+    /// one. The default replays them — correct for every implementation,
+    /// O(1) overrides are an optimisation.
+    fn skip_busy(&mut self, from: Ticks, frames: &[Frame], _slot: Ticks) {
+        let mut at = from;
+        for frame in frames {
+            let next_free = at + frame.duration();
+            self.observe(at, next_free, &Observation::Busy(*frame));
+            at = next_free;
+        }
     }
 
     /// Observability hook: attributes the decision slot about to be

@@ -1,35 +1,52 @@
-//! Fast-forward equivalence: the optimized engine (idle fast-forward on,
-//! the default) and the retained reference stepper
-//! ([`Engine::set_fast_forward`]`(false)`) must be bitwise
+//! Fast-forward equivalence: the optimized engine (idle fast-forward and
+//! busy-period fast-forward on, the defaults) and the retained reference
+//! stepper ([`Engine::set_fast_forward`]`(false)` +
+//! [`Engine::set_busy_fast_forward`]`(false)`) must be bitwise
 //! indistinguishable — identical channel traces, statistics, delivery
 //! schedules, final clocks, and timeout outcomes — across every protocol,
-//! random workload, and collision mode.
+//! random workload, collision mode, and fault plan. The two switches are
+//! also exercised independently so a regression in either path bisects
+//! cleanly.
 
 use ddcr_baseline::{CsmaCdStation, DcrStation, NpEdfOracle, QueueDiscipline};
-use ddcr_core::{DdcrConfig, DdcrStation, StaticAllocation};
+use ddcr_core::{BurstConfig, DdcrConfig, DdcrStation, StaticAllocation};
 use ddcr_sim::{
-    ClassId, CollisionMode, Engine, FaultPlan, FaultRates, MediumConfig, Message, MessageId,
-    SimError, SourceId, Ticks, Trace, TraceEvent,
+    ClassId, CollisionMode, Engine, FaultEvent, FaultKind, FaultPlan, FaultRates, MediumConfig,
+    Message, MessageId, SimError, SourceId, Ticks, Trace, TraceEvent,
 };
 use proptest::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
 enum Proto {
-    Ddcr { theta: u64 },
+    Ddcr { theta: u64, bursting: bool },
     CsmaCd { seed: u64 },
     Dcr,
     NpEdf,
 }
 
-fn build_engine(proto: Proto, z: u32, medium: MediumConfig, fast: bool) -> Engine {
+/// (idle fast-forward, busy fast-forward) switch settings. The reference
+/// stepper is `(false, false)`; the production default is `(true, true)`;
+/// the mixed pairs isolate each optimisation for bisection.
+type Steppers = (bool, bool);
+
+const REFERENCE: Steppers = (false, false);
+const OPTIMIZED: [Steppers; 3] = [(true, true), (true, false), (false, true)];
+
+fn build_engine(proto: Proto, z: u32, medium: MediumConfig, steppers: Steppers) -> Engine {
     let mut engine = Engine::new(medium).unwrap();
-    engine.set_fast_forward(fast);
+    engine.set_fast_forward(steppers.0);
+    engine.set_busy_fast_forward(steppers.1);
     engine.set_trace(Trace::enabled());
     match proto {
-        Proto::Ddcr { theta } => {
-            let config = DdcrConfig::for_sources(z, Ticks(100_000))
+        Proto::Ddcr { theta, bursting } => {
+            let mut config = DdcrConfig::for_sources(z, Ticks(100_000))
                 .unwrap()
                 .with_compressed_time(theta);
+            if bursting {
+                config = config.with_bursting(BurstConfig {
+                    max_extra_bits: 16_384,
+                });
+            }
             let allocation =
                 StaticAllocation::one_per_source(config.static_tree, z).unwrap();
             for i in 0..z {
@@ -83,9 +100,9 @@ fn run_once(
     medium: MediumConfig,
     arrivals: &[Message],
     to_completion: bool,
-    fast: bool,
+    steppers: Steppers,
 ) -> RunDigest {
-    run_with_plan(proto, z, medium, arrivals, to_completion, fast, None)
+    run_with_plan(proto, z, medium, arrivals, to_completion, steppers, None)
 }
 
 fn run_with_plan(
@@ -94,10 +111,10 @@ fn run_with_plan(
     medium: MediumConfig,
     arrivals: &[Message],
     to_completion: bool,
-    fast: bool,
+    steppers: Steppers,
     plan: Option<FaultPlan>,
 ) -> RunDigest {
-    let mut engine = build_engine(proto, z, medium, fast);
+    let mut engine = build_engine(proto, z, medium, steppers);
     if let Some(plan) = plan {
         engine.set_fault_plan(plan);
     }
@@ -116,33 +133,66 @@ fn run_with_plan(
     }
 }
 
+fn pick_proto(pick: usize) -> Proto {
+    match pick {
+        0 => Proto::Ddcr {
+            theta: 0,
+            bursting: false,
+        },
+        1 => Proto::Ddcr {
+            theta: 2,
+            bursting: false,
+        },
+        2 => Proto::Ddcr {
+            theta: 0,
+            bursting: true,
+        },
+        3 => Proto::CsmaCd { seed: 7 },
+        4 => Proto::Dcr,
+        _ => Proto::NpEdf,
+    }
+}
+
+fn make_arrivals(raw: &[(u32, u64, u64)], z: u32, bits: u64) -> Vec<Message> {
+    let mut at = 0u64;
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(source, gap, deadline))| {
+            at += gap;
+            Message {
+                id: MessageId(i as u64),
+                source: SourceId(source % z),
+                class: ClassId(0),
+                bits,
+                arrival: Ticks(at),
+                deadline: Ticks(deadline),
+            }
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The central equivalence property: same protocol, same workload, same
-    /// medium ⇒ the fast-forwarding engine and the reference stepper agree
-    /// on every observable (trace event list, statistics including
-    /// per-delivery completion times, final clock, timeout outcome).
+    /// medium ⇒ every optimized stepper configuration and the reference
+    /// stepper agree on every observable (trace event list, statistics
+    /// including per-delivery completion times, final clock, timeout
+    /// outcome).
     #[test]
     fn optimized_engine_matches_reference(
         z in 2u32..6,
         // (source, inter-arrival gap, deadline) triples; the gaps create
-        // the idle stretches the fast-forward path exists for.
+        // the idle stretches the idle fast-forward path exists for.
         raw in prop::collection::vec(
             (0u32..8, 0u64..600_000, 300_000u64..9_000_000),
             0..20,
         ),
-        proto_pick in 0usize..5,
+        proto_pick in 0usize..6,
         arbitrating in any::<bool>(),
         to_completion in any::<bool>(),
     ) {
-        let proto = match proto_pick {
-            0 => Proto::Ddcr { theta: 0 },
-            1 => Proto::Ddcr { theta: 2 },
-            2 => Proto::CsmaCd { seed: 7 },
-            3 => Proto::Dcr,
-            _ => Proto::NpEdf,
-        };
+        let proto = pick_proto(proto_pick);
         let z = if matches!(proto, Proto::NpEdf) { 1 } else { z };
         let mut medium = MediumConfig::ethernet();
         medium.collision_mode = if arbitrating {
@@ -150,31 +200,107 @@ proptest! {
         } else {
             CollisionMode::Destructive
         };
-        let mut at = 0u64;
-        let arrivals: Vec<Message> = raw
+        let arrivals = make_arrivals(&raw, z, 4_000);
+        let reference = run_once(proto, z, medium, &arrivals, to_completion, REFERENCE);
+        for steppers in OPTIMIZED {
+            let fast = run_once(proto, z, medium, &arrivals, to_completion, steppers);
+            prop_assert_eq!(&fast, &reference, "steppers={:?}", steppers);
+        }
+    }
+
+    /// The loaded-regime counterpart: tight inter-arrival gaps (well under
+    /// one frame duration) force arrivals to land mid-transmission, so the
+    /// busy fast-forward path constantly starts, caps, and resumes runs.
+    /// Every stepper configuration must still agree bitwise.
+    #[test]
+    fn loaded_regime_matches_reference(
+        z in 2u32..6,
+        // Gaps of 0..3_000 ticks against ~1_200-tick frames: most arrivals
+        // land while a transmission or committed hold is in flight.
+        raw in prop::collection::vec(
+            (0u32..8, 0u64..3_000, 300_000u64..9_000_000),
+            1..32,
+        ),
+        proto_pick in 0usize..6,
+        arbitrating in any::<bool>(),
+        to_completion in any::<bool>(),
+    ) {
+        let proto = pick_proto(proto_pick);
+        let z = if matches!(proto, Proto::NpEdf) { 1 } else { z };
+        let mut medium = MediumConfig::ethernet();
+        medium.collision_mode = if arbitrating {
+            CollisionMode::Arbitrating
+        } else {
+            CollisionMode::Destructive
+        };
+        let arrivals = make_arrivals(&raw, z, 1_000);
+        let reference = run_once(proto, z, medium, &arrivals, to_completion, REFERENCE);
+        for steppers in OPTIMIZED {
+            let fast = run_once(proto, z, medium, &arrivals, to_completion, steppers);
+            prop_assert_eq!(&fast, &reference, "steppers={:?}", steppers);
+        }
+    }
+
+    /// Faults that strike while a busy run would be in flight: the engine
+    /// must fence every committed run at the next scheduled fault ordinal,
+    /// so corrupted slots, erased frames, and crash/restart transitions
+    /// land on exactly the same decision slots as under the reference
+    /// stepper.
+    #[test]
+    fn faults_mid_transmission_match_reference(
+        z in 2u32..6,
+        raw in prop::collection::vec(
+            (0u32..8, 0u64..3_000, 300_000u64..9_000_000),
+            1..24,
+        ),
+        // (slot ordinal, kind pick, station pick, down slots) — low slot
+        // ordinals so the faults hit inside the loaded prefix of the run.
+        raw_faults in prop::collection::vec(
+            (0u64..48, 0usize..3, 0u32..8, 1u64..6),
+            1..6,
+        ),
+        proto_pick in 0usize..6,
+        arbitrating in any::<bool>(),
+    ) {
+        let proto = pick_proto(proto_pick);
+        let z = if matches!(proto, Proto::NpEdf) { 1 } else { z };
+        let mut medium = MediumConfig::ethernet();
+        medium.collision_mode = if arbitrating {
+            CollisionMode::Arbitrating
+        } else {
+            CollisionMode::Destructive
+        };
+        let arrivals = make_arrivals(&raw, z, 1_000);
+        let events: Vec<FaultEvent> = raw_faults
             .iter()
-            .enumerate()
-            .map(|(i, &(source, gap, deadline))| {
-                at += gap;
-                Message {
-                    id: MessageId(i as u64),
-                    source: SourceId(source % z),
-                    class: ClassId(0),
-                    bits: 4_000,
-                    arrival: Ticks(at),
-                    deadline: Ticks(deadline),
-                }
+            .map(|&(slot, kind, station, down_slots)| FaultEvent {
+                slot,
+                kind: match kind {
+                    0 => FaultKind::CorruptSlot,
+                    1 => FaultKind::EraseFrame,
+                    _ => FaultKind::Crash {
+                        station: station % z,
+                        down_slots,
+                    },
+                },
             })
             .collect();
-        let fast = run_once(proto, z, medium, &arrivals, to_completion, true);
-        let reference = run_once(proto, z, medium, &arrivals, to_completion, false);
-        prop_assert_eq!(&fast, &reference);
+        let plan = FaultPlan::from_events(events);
+        let reference = run_with_plan(
+            proto, z, medium, &arrivals, true, REFERENCE, Some(plan.clone()),
+        );
+        for steppers in OPTIMIZED {
+            let fast = run_with_plan(
+                proto, z, medium, &arrivals, true, steppers, Some(plan.clone()),
+            );
+            prop_assert_eq!(&fast, &reference, "steppers={:?}", steppers);
+        }
     }
 
     /// The fault subsystem is a strict superset: an engine carrying a
     /// zero-fault plan — whether the literal empty plan or one generated
     /// from all-zero rates — is bitwise indistinguishable from an engine
-    /// with no plan at all, in both the fast-forwarding and reference
+    /// with no plan at all, in both the fully optimized and reference
     /// steppers, for every protocol and collision mode.
     #[test]
     fn zero_fault_plan_is_bitwise_invisible(
@@ -183,17 +309,11 @@ proptest! {
             (0u32..8, 0u64..600_000, 300_000u64..9_000_000),
             0..16,
         ),
-        proto_pick in 0usize..5,
+        proto_pick in 0usize..6,
         arbitrating in any::<bool>(),
         seed in any::<u64>(),
     ) {
-        let proto = match proto_pick {
-            0 => Proto::Ddcr { theta: 0 },
-            1 => Proto::Ddcr { theta: 2 },
-            2 => Proto::CsmaCd { seed: 7 },
-            3 => Proto::Dcr,
-            _ => Proto::NpEdf,
-        };
+        let proto = pick_proto(proto_pick);
         let z = if matches!(proto, Proto::NpEdf) { 1 } else { z };
         let mut medium = MediumConfig::ethernet();
         medium.collision_mode = if arbitrating {
@@ -201,32 +321,20 @@ proptest! {
         } else {
             CollisionMode::Destructive
         };
-        let mut at = 0u64;
-        let arrivals: Vec<Message> = raw
-            .iter()
-            .enumerate()
-            .map(|(i, &(source, gap, deadline))| {
-                at += gap;
-                Message {
-                    id: MessageId(i as u64),
-                    source: SourceId(source % z),
-                    class: ClassId(0),
-                    bits: 4_000,
-                    arrival: Ticks(at),
-                    deadline: Ticks(deadline),
-                }
-            })
-            .collect();
+        let arrivals = make_arrivals(&raw, z, 4_000);
         let generated = FaultPlan::generate(seed, z, 50_000, &FaultRates::default());
         prop_assert!(generated.is_empty(), "zero rates must generate no events");
 
-        let plain = run_once(proto, z, medium, &arrivals, true, true);
-        let empty_fast =
-            run_with_plan(proto, z, medium, &arrivals, true, true, Some(FaultPlan::none()));
-        let empty_reference =
-            run_with_plan(proto, z, medium, &arrivals, true, false, Some(FaultPlan::none()));
-        let generated_fast =
-            run_with_plan(proto, z, medium, &arrivals, true, true, Some(generated));
+        let plain = run_once(proto, z, medium, &arrivals, true, (true, true));
+        let empty_fast = run_with_plan(
+            proto, z, medium, &arrivals, true, (true, true), Some(FaultPlan::none()),
+        );
+        let empty_reference = run_with_plan(
+            proto, z, medium, &arrivals, true, REFERENCE, Some(FaultPlan::none()),
+        );
+        let generated_fast = run_with_plan(
+            proto, z, medium, &arrivals, true, (true, true), Some(generated),
+        );
         prop_assert_eq!(&plain, &empty_fast);
         prop_assert_eq!(&plain, &empty_reference);
         prop_assert_eq!(&plain, &generated_fast);
@@ -250,11 +358,56 @@ fn idle_heavy_32_station_network_is_bitwise_equivalent() {
         })
         .collect();
     for theta in [0u64, 2] {
-        let proto = Proto::Ddcr { theta };
-        let fast = run_once(proto, 32, medium, &arrivals, false, true);
-        let reference = run_once(proto, 32, medium, &arrivals, false, false);
+        let proto = Proto::Ddcr {
+            theta,
+            bursting: false,
+        };
+        let fast = run_once(proto, 32, medium, &arrivals, false, (true, true));
+        let reference = run_once(proto, 32, medium, &arrivals, false, REFERENCE);
         assert_eq!(fast, reference, "theta={theta}");
         // The run really was idle-dominated — the fast path had work to do.
         assert!(fast.stats.silence_slots > 10_000);
     }
+}
+
+/// Loaded deterministic spot check at the perf-gate shape: 32 bursting DDCR
+/// stations draining clustered small messages. Verifies both that every
+/// stepper configuration agrees bitwise *and* that the busy fast-forward
+/// path genuinely engaged (the equivalence would be vacuous otherwise).
+#[test]
+fn loaded_32_station_burst_network_is_bitwise_equivalent() {
+    let medium = MediumConfig::ethernet();
+    let arrivals: Vec<Message> = (0..48u64)
+        .map(|i| Message {
+            id: MessageId(i),
+            source: SourceId((i % 8) as u32),
+            class: ClassId(0),
+            bits: 1_000,
+            arrival: Ticks((i / 8) * 40_000),
+            deadline: Ticks(8_000_000),
+        })
+        .collect();
+    let proto = Proto::Ddcr {
+        theta: 0,
+        bursting: true,
+    };
+    let reference = run_once(proto, 32, medium, &arrivals, true, REFERENCE);
+    assert_eq!(reference.stats.deliveries.len(), 48);
+    for steppers in OPTIMIZED {
+        let fast = run_once(proto, 32, medium, &arrivals, true, steppers);
+        assert_eq!(fast, reference, "steppers={steppers:?}");
+    }
+
+    // Busy-skip really fired: rerun the default configuration with metrics
+    // on and check the telemetry counters.
+    let mut engine = build_engine(proto, 32, medium, (true, true));
+    engine.enable_metrics();
+    engine.add_arrivals(arrivals.iter().copied()).unwrap();
+    engine.run_to_completion(Ticks(60_000_000)).unwrap();
+    let metrics = engine.metrics().expect("metrics enabled");
+    assert!(
+        metrics.busy_skip_runs > 0,
+        "busy fast-forward never engaged on a loaded burst workload"
+    );
+    assert!(metrics.busy_skipped_slots >= metrics.busy_skip_runs);
 }
