@@ -8,8 +8,10 @@
 //! Exit status 0 when the gate passes, 1 with one line per violation when
 //! it does not (missing file, malformed JSON, schema mismatch, idle
 //! speedup below the 2x floor, loaded speedup below the 5x floor at load
-//! 0.5 on >= 32 stations, divergent fast/reference statistics, incomplete
-//! drains). `scripts/bench_check` wraps this binary for CI.
+//! 0.5 or 0.8 on >= 32 stations, a contention fast-forward section that
+//! diverged or whose tier never engaged, divergent fast/reference
+//! statistics, incomplete drains). `scripts/bench_check` wraps this binary
+//! for CI.
 
 use ddcr_bench::enginebench::{check_report, REPORT_PATH};
 use ddcr_bench::json::Json;
@@ -39,26 +41,36 @@ fn main() {
             .and_then(|i| i.get("speedup"))
             .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
-        // Headline the gated loaded entry: >= 32 stations at load 0.5.
-        let loaded_speedup = doc
-            .get("loaded_fast_forward")
-            .and_then(Json::as_array)
-            .and_then(|entries| {
-                entries
-                    .iter()
-                    .find(|e| {
-                        e.get("stations").and_then(Json::as_f64).unwrap_or(0.0) >= 32.0
-                            && (0.45..=0.55).contains(
-                                &e.get("load").and_then(Json::as_f64).unwrap_or(0.0),
-                            )
-                    })
-                    .and_then(|e| e.get("speedup"))
-                    .and_then(Json::as_f64)
-            })
+        // Headline the gated loaded entries (>= 32 stations at load 0.5
+        // and 0.8) and the isolated contention tier.
+        let loaded_speedup_at = |lo: f64, hi: f64| {
+            doc.get("loaded_fast_forward")
+                .and_then(Json::as_array)
+                .and_then(|entries| {
+                    entries
+                        .iter()
+                        .find(|e| {
+                            e.get("stations").and_then(Json::as_f64).unwrap_or(0.0) >= 32.0
+                                && (lo..=hi).contains(
+                                    &e.get("load").and_then(Json::as_f64).unwrap_or(0.0),
+                                )
+                        })
+                        .and_then(|e| e.get("speedup"))
+                        .and_then(Json::as_f64)
+                })
+                .unwrap_or(f64::NAN)
+        };
+        let loaded_speedup = loaded_speedup_at(0.45, 0.55);
+        let high_load_speedup = loaded_speedup_at(0.75, 0.85);
+        let contention_speedup = doc
+            .get("contention_fast_forward")
+            .and_then(|c| c.get("speedup"))
+            .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
         println!(
             "bench_check: PASS ({path}; idle fast-forward {idle_speedup:.1}x, \
-             loaded fast-forward {loaded_speedup:.1}x)"
+             loaded fast-forward {loaded_speedup:.1}x @0.5 / {high_load_speedup:.1}x @0.8, \
+             contention tier {contention_speedup:.1}x)"
         );
     } else {
         for violation in &violations {

@@ -11,15 +11,22 @@
 //!    requires the speedup to be ≥ 2× and the two runs to produce
 //!    identical [`ChannelStats`].
 //! 2. **Loaded fast-forward** — a busy-heavy scenario (clustered
-//!    small-message arrivals draining through bursting DDCR) run with both
-//!    fast-forward switches on versus the full reference stepper
-//!    (`set_fast_forward(false)` + `set_busy_fast_forward(false)`), across
-//!    a stations × load grid. The gate requires ≥ 5× at load 0.5 on the
-//!    ≥ 32-station scenario and identical statistics everywhere.
-//! 3. **Protocol drain** — DDCR, CSMA-CD and NP-EDF draining the same
+//!    small-message arrivals draining through bursting DDCR) run with all
+//!    three fast-forward switches on versus the full reference stepper
+//!    (idle + busy + contention skipping all disabled), across a
+//!    stations × load grid. The gate requires ≥ 5× at load 0.5 **and** at
+//!    load 0.8 on the ≥ 32-station scenario and identical statistics
+//!    everywhere.
+//! 3. **Contention fast-forward** — a contention-heavy scenario
+//!    (simultaneous arrival waves forcing whole tree searches, no
+//!    bursting) run with the contention tier on versus off while the idle
+//!    and busy tiers stay on in both runs, isolating the third tier's
+//!    contribution. The gate requires identical statistics and proof via
+//!    telemetry that the tier actually engaged (`search_skip_runs > 0`).
+//! 4. **Protocol drain** — DDCR, CSMA-CD and NP-EDF draining the same
 //!    workload at several station counts and loads; reports simulated
 //!    ticks per wall-clock second.
-//! 4. **EDF queue ops** — `EdfQueue` push/pop throughput at benchmark
+//! 5. **EDF queue ops** — `EdfQueue` push/pop throughput at benchmark
 //!    scale (exercises the `O(log n)` binary-insert path).
 //!
 //! All wall-clock numbers are single-machine and profile-dependent; the
@@ -35,7 +42,10 @@ use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
 use std::time::Instant;
 
 /// Current `BENCH_engine.json` schema version.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// Version 3 added the `contention_fast_forward` section and promoted the
+/// loaded `(≥ 32, 0.8)` grid point from informational to gated.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Default report location (relative to the workspace root, like
 /// `results/`).
@@ -46,9 +56,10 @@ pub const REPORT_PATH: &str = "BENCH_engine.json";
 /// scenario.
 pub const MIN_IDLE_SPEEDUP: f64 = 2.0;
 
-/// Gate threshold: with both fast-forward switches on, the engine must
-/// clear at least this wall-clock multiple over the full reference stepper
-/// on the loaded (≥ 32 stations, load 0.5) bursting scenario.
+/// Gate threshold: with all three fast-forward switches on, the engine
+/// must clear at least this wall-clock multiple over the full reference
+/// stepper on the loaded (≥ 32 stations) bursting scenario, at load 0.5
+/// and at load 0.8.
 pub const MIN_LOADED_SPEEDUP: f64 = 5.0;
 
 /// How much work the suite does.
@@ -98,7 +109,7 @@ impl Profile {
     }
 
     /// `(stations, load)` grid for the loaded fast-forward measurement.
-    /// Always includes the gated `(32, 0.5)` point.
+    /// Always includes the gated `(32, 0.5)` and `(32, 0.8)` points.
     fn loaded_grid(self) -> Vec<(u32, f64)> {
         match self {
             Profile::Smoke => vec![(8, 0.5), (32, 0.3), (32, 0.5), (32, 0.8)],
@@ -119,6 +130,14 @@ impl Profile {
         match self {
             Profile::Smoke => 16,
             Profile::Full => 48,
+        }
+    }
+
+    /// Simultaneous-arrival waves in the contention scenario.
+    fn contention_waves(self) -> u64 {
+        match self {
+            Profile::Smoke => 24,
+            Profile::Full => 96,
         }
     }
 
@@ -211,6 +230,47 @@ impl LoadedResult {
     }
 }
 
+/// Result of the contention fast-forward measurement (simultaneous
+/// arrival waves forcing whole tree searches, contention tier on vs off
+/// with the idle and busy tiers held on in both runs).
+#[derive(Debug, Clone)]
+pub struct ContentionResult {
+    /// Stations on the channel.
+    pub stations: u32,
+    /// Simultaneous-arrival waves in the workload.
+    pub waves: u64,
+    /// Messages scheduled (all delivered when `completed`).
+    pub messages: u64,
+    /// Decision slots the contention-off run resolves
+    /// (silence + collisions + successful transmissions).
+    pub slots: u64,
+    /// Contention-tier-on wall time (min over repeats), nanoseconds.
+    pub fast_wall_ns: u64,
+    /// Contention-tier-off wall time (min over repeats), nanoseconds.
+    pub reference_wall_ns: u64,
+    /// Whether the two runs produced identical statistics.
+    pub equivalent: bool,
+    /// Whether both runs drained the workload inside the budget.
+    pub completed: bool,
+    /// Contention fast-forward runs the tier resolved (telemetry proof
+    /// the tier engaged on this workload).
+    pub search_skip_runs: u64,
+    /// Slots resolved inside those runs.
+    pub search_skipped_slots: u64,
+}
+
+impl ContentionResult {
+    /// Tier-off-over-tier-on wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.reference_wall_ns as f64 / self.fast_wall_ns.max(1) as f64
+    }
+
+    /// Slots per second for a wall time.
+    fn slots_per_sec(&self, wall_ns: u64) -> f64 {
+        self.slots as f64 * 1e9 / wall_ns.max(1) as f64
+    }
+}
+
 /// Result of one protocol drain measurement.
 #[derive(Debug, Clone)]
 pub struct DrainResult {
@@ -248,6 +308,8 @@ pub struct BenchReport {
     pub idle: IdleResult,
     /// Loaded (busy-period) fast-forward grid.
     pub loaded: Vec<LoadedResult>,
+    /// Contention (tree-search) fast-forward measurement.
+    pub contention: ContentionResult,
     /// Protocol drain grid.
     pub drains: Vec<DrainResult>,
     /// EDF queue throughput.
@@ -364,7 +426,7 @@ pub fn loaded_workload(
 }
 
 /// One loaded run: bursting DDCR over `schedule`, either fully optimized
-/// (both fast-forward switches on) or on the full reference stepper.
+/// (all three fast-forward switches on) or on the full reference stepper.
 /// Returns the final statistics and whether the drain completed.
 pub fn run_loaded(
     set: &MessageSet,
@@ -385,6 +447,7 @@ pub fn run_loaded(
         network::build_engine(set, &config, &allocation, medium).expect("engine assembly");
     engine.set_fast_forward(optimized);
     engine.set_busy_fast_forward(optimized);
+    engine.set_contention_fast_forward(optimized);
     engine.set_retention(Some(0), Some(0));
     engine.add_arrivals(schedule.to_vec()).expect("arrivals route");
     let completed = engine.run_to_completion(Ticks(40_000_000_000)).is_ok();
@@ -422,6 +485,101 @@ pub fn measure_loaded(profile: Profile) -> Vec<LoadedResult> {
         });
     }
     out
+}
+
+/// Contention-heavy workload for the contention fast-forward measurement:
+/// `waves` rounds in which **every** station receives one message at the
+/// same instant, so each round opens with a `stations`-way collision the
+/// tree search must resolve leaf by leaf. No bursting, so the drain is
+/// pure search — the regime the contention fast-forward path exists for.
+pub fn contention_workload(stations: u32, waves: u64) -> (MessageSet, Vec<Message>) {
+    const BITS: u64 = 2_000;
+    // Far enough apart that one wave fully drains (searches included)
+    // before the next arrives, keeping every wave a clean tree search.
+    const WAVE_PERIOD: u64 = 400_000;
+    let set = scenario::uniform(stations, BITS, Ticks(5_000_000), 0.8)
+        .expect("contention scenario is valid");
+    let mut schedule = Vec::new();
+    for w in 0..waves {
+        for s in 0..stations {
+            schedule.push(Message {
+                id: MessageId(schedule.len() as u64),
+                source: SourceId(s),
+                class: ClassId(0),
+                bits: BITS,
+                arrival: Ticks(w * WAVE_PERIOD),
+                deadline: Ticks(100_000_000),
+            });
+        }
+    }
+    (set, schedule)
+}
+
+/// One contention run: non-bursting DDCR over `schedule` with the idle and
+/// busy tiers on in **both** configurations, toggling only the contention
+/// tier — the speedup isolates the third tier's contribution. Returns the
+/// final statistics and whether the drain completed.
+pub fn run_contention(
+    set: &MessageSet,
+    schedule: &[Message],
+    medium: MediumConfig,
+    contention: bool,
+) -> (ChannelStats, bool) {
+    let config = default_ddcr_config(set, &medium);
+    let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+        .expect("round robin allocation");
+    let mut engine =
+        network::build_engine(set, &config, &allocation, medium).expect("engine assembly");
+    engine.set_fast_forward(true);
+    engine.set_busy_fast_forward(true);
+    engine.set_contention_fast_forward(contention);
+    engine.set_retention(Some(0), Some(0));
+    engine.add_arrivals(schedule.to_vec()).expect("arrivals route");
+    let completed = engine.run_to_completion(Ticks(40_000_000_000)).is_ok();
+    (engine.into_stats(), completed)
+}
+
+/// Measures the contention-heavy scenario with the contention tier on and
+/// off, plus one metrics-enabled pass proving the tier engaged.
+pub fn measure_contention(profile: Profile) -> ContentionResult {
+    let stations = 32;
+    let waves = profile.contention_waves();
+    let medium = MediumConfig::ethernet();
+    let (set, schedule) = contention_workload(stations, waves);
+    let ((fast_stats, fast_completed), fast_wall_ns) = min_wall(profile.repeats(), || {
+        run_contention(&set, &schedule, medium, true)
+    });
+    let ((reference_stats, reference_completed), reference_wall_ns) =
+        min_wall(profile.repeats(), || {
+            run_contention(&set, &schedule, medium, false)
+        });
+
+    // Telemetry pass (untimed): the tier must actually fire, otherwise the
+    // comparison above measures nothing.
+    let config = default_ddcr_config(&set, &medium);
+    let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+        .expect("round robin allocation");
+    let mut engine =
+        network::build_engine(&set, &config, &allocation, medium).expect("engine assembly");
+    engine.enable_metrics();
+    engine.add_arrivals(schedule.clone()).expect("arrivals route");
+    let _ = engine.run_to_completion(Ticks(40_000_000_000));
+    let metrics = engine.take_metrics().expect("metrics enabled");
+
+    ContentionResult {
+        stations,
+        waves,
+        messages: schedule.len() as u64,
+        slots: reference_stats.silence_slots
+            + reference_stats.collisions
+            + reference_stats.delivered,
+        fast_wall_ns,
+        reference_wall_ns,
+        equivalent: fast_stats == reference_stats,
+        completed: fast_completed && reference_completed,
+        search_skip_runs: metrics.search_skip_runs,
+        search_skipped_slots: metrics.search_skipped_slots,
+    }
 }
 
 /// Measures DDCR / CSMA-CD / NP-EDF draining the same workload across the
@@ -500,6 +658,7 @@ pub fn run_suite(profile: Profile) -> BenchReport {
         profile,
         idle: measure_idle(profile),
         loaded: measure_loaded(profile),
+        contention: measure_contention(profile),
         drains: measure_drains(profile),
         queue: measure_queue(profile),
     }
@@ -563,6 +722,47 @@ impl BenchReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "contention_fast_forward",
+                Json::object([
+                    (
+                        "stations",
+                        Json::from(u64::from(self.contention.stations)),
+                    ),
+                    ("waves", Json::from(self.contention.waves)),
+                    ("messages", Json::from(self.contention.messages)),
+                    ("slots", Json::from(self.contention.slots)),
+                    ("fast_wall_ns", Json::from(self.contention.fast_wall_ns)),
+                    (
+                        "reference_wall_ns",
+                        Json::from(self.contention.reference_wall_ns),
+                    ),
+                    (
+                        "fast_slots_per_sec",
+                        Json::from(
+                            self.contention.slots_per_sec(self.contention.fast_wall_ns),
+                        ),
+                    ),
+                    (
+                        "reference_slots_per_sec",
+                        Json::from(
+                            self.contention
+                                .slots_per_sec(self.contention.reference_wall_ns),
+                        ),
+                    ),
+                    ("speedup", Json::from(self.contention.speedup())),
+                    ("equivalent", Json::from(self.contention.equivalent)),
+                    ("completed", Json::from(self.contention.completed)),
+                    (
+                        "search_skip_runs",
+                        Json::from(self.contention.search_skip_runs),
+                    ),
+                    (
+                        "search_skipped_slots",
+                        Json::from(self.contention.search_skipped_slots),
+                    ),
+                ]),
             ),
             (
                 "protocol_drain",
@@ -660,7 +860,8 @@ pub fn check_report(doc: &Json) -> Vec<String> {
         None => fail("missing loaded_fast_forward".into()),
         Some([]) => fail("loaded_fast_forward is empty".into()),
         Some(entries) => {
-            let mut gated = 0usize;
+            let mut gated_mid = 0usize;
+            let mut gated_high = 0usize;
             for (i, entry) in entries.iter().enumerate() {
                 if entry.get("equivalent").and_then(Json::as_bool) != Some(true) {
                     fail(format!("loaded_fast_forward[{i}].equivalent must be true"));
@@ -678,8 +879,14 @@ pub fn check_report(doc: &Json) -> Vec<String> {
                 }
                 let stations = entry.get("stations").and_then(Json::as_f64).unwrap_or(0.0);
                 let load = entry.get("load").and_then(Json::as_f64).unwrap_or(0.0);
-                if stations >= 32.0 && (0.45..=0.55).contains(&load) {
-                    gated += 1;
+                let mid = (0.45..=0.55).contains(&load);
+                let high = (0.75..=0.85).contains(&load);
+                if stations >= 32.0 && (mid || high) {
+                    if mid {
+                        gated_mid += 1;
+                    } else {
+                        gated_high += 1;
+                    }
                     match entry.get("speedup").and_then(Json::as_f64) {
                         Some(s) if s >= MIN_LOADED_SPEEDUP => {}
                         Some(s) => fail(format!(
@@ -690,9 +897,47 @@ pub fn check_report(doc: &Json) -> Vec<String> {
                     }
                 }
             }
-            if gated == 0 {
+            if gated_mid == 0 {
                 fail("loaded_fast_forward has no gated entry (>= 32 stations at load 0.5)"
                     .into());
+            }
+            if gated_high == 0 {
+                fail("loaded_fast_forward has no gated entry (>= 32 stations at load 0.8)"
+                    .into());
+            }
+        }
+    }
+
+    match doc.get("contention_fast_forward") {
+        None => fail("missing contention_fast_forward".into()),
+        Some(contention) => {
+            match contention.get("stations").and_then(Json::as_f64) {
+                Some(z) if z >= 32.0 => {}
+                other => fail(format!(
+                    "contention_fast_forward.stations must be >= 32, got {other:?}"
+                )),
+            }
+            if contention.get("equivalent").and_then(Json::as_bool) != Some(true) {
+                fail("contention_fast_forward.equivalent must be true".into());
+            }
+            if contention.get("completed").and_then(Json::as_bool) != Some(true) {
+                fail("contention_fast_forward did not complete".into());
+            }
+            for key in ["slots", "fast_wall_ns", "reference_wall_ns", "speedup"] {
+                match contention.get(key).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    other => fail(format!(
+                        "contention_fast_forward.{key} must be > 0, got {other:?}"
+                    )),
+                }
+            }
+            // The comparison is meaningless if the tier never fired.
+            match contention.get("search_skip_runs").and_then(Json::as_f64) {
+                Some(v) if v >= 1.0 => {}
+                other => fail(format!(
+                    "contention_fast_forward.search_skip_runs must be >= 1 \
+                     (tier never engaged), got {other:?}"
+                )),
             }
         }
     }
@@ -744,16 +989,40 @@ mod tests {
                 reference_wall_ns: 50_000,
                 equivalent: true,
             },
-            loaded: vec![LoadedResult {
+            loaded: vec![
+                LoadedResult {
+                    stations: 32,
+                    load: 0.5,
+                    messages: 6_144,
+                    slots: 20_000,
+                    fast_wall_ns: 2_000,
+                    reference_wall_ns: 20_000,
+                    equivalent: true,
+                    completed: true,
+                },
+                LoadedResult {
+                    stations: 32,
+                    load: 0.8,
+                    messages: 6_144,
+                    slots: 26_000,
+                    fast_wall_ns: 3_000,
+                    reference_wall_ns: 30_000,
+                    equivalent: true,
+                    completed: true,
+                },
+            ],
+            contention: ContentionResult {
                 stations: 32,
-                load: 0.5,
-                messages: 6_144,
-                slots: 20_000,
-                fast_wall_ns: 2_000,
-                reference_wall_ns: 20_000,
+                waves: 24,
+                messages: 768,
+                slots: 18_000,
+                fast_wall_ns: 2_500,
+                reference_wall_ns: 10_000,
                 equivalent: true,
                 completed: true,
-            }],
+                search_skip_runs: 24,
+                search_skipped_slots: 1_200,
+            },
             drains: vec![DrainResult {
                 protocol: "ddcr".into(),
                 stations: 8,
@@ -807,12 +1076,13 @@ mod tests {
 
     #[test]
     fn missing_sections_are_reported() {
-        let doc = Json::parse(r#"{"schema_version": 2}"#).unwrap();
+        let doc = Json::parse(r#"{"schema_version": 3}"#).unwrap();
         let violations = check_report(&doc);
         for needle in [
             "profile",
             "idle_fast_forward",
             "loaded_fast_forward",
+            "contention_fast_forward",
             "protocol_drain",
             "edf_queue",
         ] {
@@ -878,7 +1148,67 @@ mod tests {
         }
         assert!(check_report(&doc)
             .iter()
-            .any(|v| v.contains("no gated entry")));
+            .any(|v| v.contains("no gated entry (>= 32 stations at load 0.5)")));
+    }
+
+    #[test]
+    fn loaded_grid_without_high_load_gated_point_fails() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("loaded_fast_forward") {
+                if let Some(Json::Object(entry)) = entries.last_mut() {
+                    entry.insert("load".into(), Json::Number(0.3));
+                }
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("no gated entry (>= 32 stations at load 0.8)")));
+    }
+
+    #[test]
+    fn slow_high_load_point_fails_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("loaded_fast_forward") {
+                if let Some(Json::Object(entry)) = entries.last_mut() {
+                    entry.insert("speedup".into(), Json::Number(4.0));
+                }
+            }
+        }
+        let violations = check_report(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("below gate") && v.contains("load=0.8")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn divergent_contention_stats_fail_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Object(contention)) = map.get_mut("contention_fast_forward") {
+                contention.insert("equivalent".into(), Json::Bool(false));
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("contention_fast_forward.equivalent")));
+    }
+
+    #[test]
+    fn disengaged_contention_tier_fails_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Object(contention)) = map.get_mut("contention_fast_forward") {
+                contention.insert("search_skip_runs".into(), Json::Number(0.0));
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("tier never engaged")));
     }
 
     #[test]
@@ -902,3 +1232,4 @@ mod tests {
         assert_eq!(result.operations, 40_000);
     }
 }
+

@@ -5,7 +5,8 @@ use crate::args::{ArgError, Args};
 use ddcr_baseline::QueueDiscipline;
 use ddcr_core::{dimensioning, feasibility, multibus, network, DdcrConfig, StaticAllocation};
 use ddcr_sim::{
-    CollisionMode, Engine, FaultPlan, FaultRates, JsonlSink, MediumConfig, SourceId, Ticks,
+    CollisionMode, Engine, FaultPlan, FaultRates, JsonlSink, MediumConfig, SimMetrics, SourceId,
+    Ticks,
 };
 use ddcr_traffic::{scenario, MessageSet, ScheduleBuilder};
 use ddcr_tree::{asymptotic, closed_form, witness, TreeShape};
@@ -82,10 +83,11 @@ COMMANDS
   trace        stream the slot-level channel trace of a DDCR run as JSONL
                  --scenario ... --sources Z --out PATH
                  [--stepper fast|reference] [--busy-skip on|off]
-                 [--horizon-ms H] [--medium ...]
-                 (the byte stream is identical for every stepper and
-                  busy-skip combination; the independent switches exist
-                  for bisecting a divergence to one fast path)
+                 [--contention-skip on|off] [--horizon-ms H] [--medium ...]
+                 (the byte stream is identical for every stepper,
+                  busy-skip, and contention-skip combination; the
+                  independent switches exist for bisecting a divergence
+                  to one fast path)
   bench-engine engine hot-path perf suite; writes the BENCH_engine.json gate
                  [--profile smoke|full] [--out PATH]  (see docs/PERF.md)
   help         this text
@@ -685,6 +687,13 @@ fn cmd_metrics(args: &Args) -> Result<String, String> {
             i, s.transmitted, s.collisions_seen, s.garbled, s.queue_high_water
         );
     }
+    xi_verdict(out, &metrics)
+}
+
+/// Turns the live ξ-check outcome into the command result: `Ok` (exit 0)
+/// when every closed window stayed within the analytic bound, `Err` (exit
+/// non-zero via `main`) listing the violations otherwise.
+fn xi_verdict(mut out: String, metrics: &SimMetrics) -> Result<String, String> {
     if metrics.violations_total == 0 {
         let _ = writeln!(out, "observed xi within the analytic bound: PASS");
         Ok(out)
@@ -713,6 +722,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         "out",
         "stepper",
         "busy-skip",
+        "contention-skip",
     ])
     .map_err(|e| e.to_string())?;
     let set = set_from(args)?;
@@ -738,6 +748,18 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         "off" => false,
         other => return Err(format!("unknown busy-skip `{other}` (on|off)")),
     };
+    // Contention (tree-search) fast-forward is the third independent
+    // switch of the bisection matrix, with the same default rule.
+    let contention_skip = args.get("contention-skip").unwrap_or(if fast_forward {
+        "on"
+    } else {
+        "off"
+    });
+    let contention_fast_forward = match contention_skip {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown contention-skip `{other}` (on|off)")),
+    };
     let (config, allocation) = setup(&set, &medium)?;
     let schedule = ScheduleBuilder::peak_load(&set)
         .build(Ticks(horizon_ms * 1_000_000))
@@ -746,6 +768,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     engine.set_fast_forward(fast_forward);
     engine.set_busy_fast_forward(busy_fast_forward);
+    engine.set_contention_fast_forward(contention_fast_forward);
     let file = std::fs::File::create(out_path)
         .map_err(|e| format!("cannot create {out_path}: {e}"))?;
     engine.set_trace_sink(JsonlSink::new(Box::new(std::io::BufWriter::new(file))));
@@ -758,7 +781,8 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     let stats = engine.into_stats();
     Ok(format!(
-        "wrote {events} events ({} v{}, {stepper} stepper, busy-skip {busy_skip}) to {out_path}\n\
+        "wrote {events} events ({} v{}, {stepper} stepper, busy-skip {busy_skip}, \
+         contention-skip {contention_skip}) to {out_path}\n\
          delivered {}, collisions {}, {} simulated ticks\n",
         ddcr_sim::TRACE_SCHEMA,
         ddcr_sim::TRACE_SCHEMA_VERSION,
@@ -1060,18 +1084,58 @@ mod tests {
     }
 
     #[test]
+    fn metrics_verdict_is_err_on_xi_violation() {
+        use ddcr_sim::{PhaseHint, ProtocolPhase, XiBoundTable};
+        // A conforming run cannot breach the bound (that is the theorem the
+        // live check validates), so the violating window is synthesized at
+        // the metrics layer: 6 overhead slots against an envelope allowing
+        // 4. This pins the `Err` half of `ddcr metrics`' exit contract —
+        // `main` maps any `Err` from `run` to a non-zero exit code (see
+        // `cli_smoke.rs`), so violations must surface as `Err`, never as
+        // text in an `Ok`.
+        let bounds = || XiBoundTable::from_envelope(2, &[0, 0, 3, 3, 3]);
+        let tts = |epoch: u64| {
+            Some(PhaseHint {
+                phase: ProtocolPhase::TimeSearch,
+                epoch_start: Ticks(epoch),
+            })
+        };
+        let mut metrics = SimMetrics::new(1);
+        metrics.set_xi_bounds(bounds(), bounds());
+        metrics.on_slot(tts(0), 1, 2, false);
+        for _ in 0..5 {
+            metrics.on_slot(tts(0), 1, 0, false);
+        }
+        // The next epoch closes and checks the violating one.
+        metrics.on_slot(tts(100), 1, 0, false);
+        assert_eq!(metrics.violations_total, 1);
+        let err = xi_verdict(String::new(), &metrics).unwrap_err();
+        assert!(err.contains("EXCEEDED the analytic bound 1 time(s)"), "{err}");
+        assert!(err.contains("time tree"), "{err}");
+        // And the passing side stays `Ok` with the PASS marker CI greps for.
+        let clean = SimMetrics::new(1);
+        let ok = xi_verdict(String::new(), &clean).unwrap();
+        assert!(ok.contains("within the analytic bound: PASS"), "{ok}");
+    }
+
+    #[test]
     fn trace_exports_are_bitwise_identical_across_steppers() {
         let dir = std::env::temp_dir().join("ddcr_cli_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
-        // Full bisection matrix: idle stepper x busy-skip. Every byte
-        // stream must be identical to the full reference run.
-        let matrix = [
-            ("fast", "on", dir.join("fast_on.jsonl")),
-            ("fast", "off", dir.join("fast_off.jsonl")),
-            ("reference", "on", dir.join("reference_on.jsonl")),
-            ("reference", "off", dir.join("reference_off.jsonl")),
-        ];
-        for (stepper, busy_skip, path) in &matrix {
+        // Full bisection matrix: idle stepper x busy-skip x
+        // contention-skip. Every byte stream must be identical to the
+        // full reference run (the last entry).
+        let mut matrix = Vec::new();
+        for stepper in ["fast", "reference"] {
+            for busy_skip in ["on", "off"] {
+                for contention_skip in ["on", "off"] {
+                    let path =
+                        dir.join(format!("{stepper}_{busy_skip}_{contention_skip}.jsonl"));
+                    matrix.push((stepper, busy_skip, contention_skip, path));
+                }
+            }
+        }
+        for (stepper, busy_skip, contention_skip, path) in &matrix {
             let out = run_line(&[
                 "trace",
                 "--scenario",
@@ -1086,20 +1150,28 @@ mod tests {
                 stepper,
                 "--busy-skip",
                 busy_skip,
+                "--contention-skip",
+                contention_skip,
                 "--out",
                 path.to_str().unwrap(),
             ])
             .unwrap();
             assert!(out.contains("wrote"), "{out}");
             assert!(out.contains(&format!("busy-skip {busy_skip}")), "{out}");
+            assert!(
+                out.contains(&format!("contention-skip {contention_skip}")),
+                "{out}"
+            );
         }
-        let reference = std::fs::read(&matrix[3].2).unwrap();
+        let (_, _, _, reference_path) = matrix.last().unwrap();
+        let reference = std::fs::read(reference_path).unwrap();
         assert!(!reference.is_empty());
-        for (stepper, busy_skip, path) in &matrix[..3] {
+        for (stepper, busy_skip, contention_skip, path) in &matrix[..matrix.len() - 1] {
             let bytes = std::fs::read(path).unwrap();
             assert_eq!(
                 bytes, reference,
-                "stepper={stepper} busy-skip={busy_skip} trace diverges from full reference"
+                "stepper={stepper} busy-skip={busy_skip} contention-skip={contention_skip} \
+                 trace diverges from full reference"
             );
         }
         let text = String::from_utf8(reference).unwrap();
@@ -1127,6 +1199,18 @@ mod tests {
             "--out",
             "/tmp/x.jsonl",
             "--busy-skip",
+            "maybe"
+        ])
+        .is_err());
+        assert!(run_line(&[
+            "trace",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "2",
+            "--out",
+            "/tmp/x.jsonl",
+            "--contention-skip",
             "maybe"
         ])
         .is_err());

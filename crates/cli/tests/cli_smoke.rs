@@ -49,6 +49,71 @@ fn missing_value_reports_the_flag() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--m"));
 }
 
+// The two halves of `ddcr metrics`' live-ξ exit contract, previously only
+// exercised by CI shell lines: a conforming run prints PASS and exits zero;
+// any `Err` out of the command layer (a ξ violation takes exactly this
+// path — see `metrics_verdict_is_err_on_xi_violation` in the command unit
+// tests) lands on stderr with a non-zero exit.
+#[test]
+fn metrics_pass_exits_zero_and_command_errors_exit_nonzero() {
+    let out = ddcr(&[
+        "metrics",
+        "--scenario",
+        "uniform",
+        "--sources",
+        "4",
+        "--load",
+        "0.2",
+        "--horizon-ms",
+        "2",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("within the analytic bound: PASS"), "{stdout}");
+    // `--stepper` belongs to `trace`; `metrics` rejects it inside the
+    // command (not the parser), so this drives the same `Err` arm of `main`
+    // a ξ violation would.
+    let out = ddcr(&[
+        "metrics",
+        "--scenario",
+        "uniform",
+        "--sources",
+        "4",
+        "--stepper",
+        "fast",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stepper"));
+}
+
+// The fast-forward bisection flags must reject bad values with a non-zero
+// exit naming the flag, and accept the documented on/off forms.
+#[test]
+fn trace_skip_flags_parse_strictly_at_the_binary_level() {
+    // The bad value is rejected before the sink file is created, so the
+    // --out path never materializes.
+    let sink = std::env::temp_dir().join("ddcr_smoke_never_written.jsonl");
+    let sink = sink.to_str().unwrap();
+    for flag in ["--busy-skip", "--contention-skip"] {
+        let out = ddcr(&[
+            "trace",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "2",
+            "--horizon-ms",
+            "1",
+            "--out",
+            sink,
+            flag,
+            "maybe",
+        ]);
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(&flag[2..]), "{flag}: {stderr}");
+    }
+}
+
 #[test]
 fn feasibility_pipeline_works_end_to_end() {
     let out = ddcr(&[

@@ -33,8 +33,8 @@ use crate::edf::EdfQueue;
 use crate::indices::StaticAllocation;
 use crate::mts::{Interval, MtsEvent, MtsSearch, SlotOutcome};
 use ddcr_sim::{
-    Action, EpochStamp, Frame, HoldHint, Message, MessageId, Observation, PhaseHint,
-    ProtocolPhase, SourceId, Station, Ticks,
+    Action, AttemptCycleHint, EpochStamp, Frame, HoldHint, Message, MessageId, Observation,
+    PhaseHint, ProtocolPhase, SearchHint, SearchSlotRecord, SourceId, Station, Ticks,
 };
 use serde::{Deserialize, Serialize};
 
@@ -68,6 +68,43 @@ pub struct ProtocolCounters {
     /// Successful resynchronizations after a restart (epoch boundary
     /// observed, replica state rebuilt).
     pub rejoins: u64,
+}
+
+impl ProtocolCounters {
+    /// Copies the **shared** (replica-invariant) counters from `other`,
+    /// leaving the private ones untouched.
+    ///
+    /// The shared subset moves in lock-step on every synced replica because
+    /// each is incremented purely from channel feedback (`observe`
+    /// transitions): searches started/finished, probe outcomes, attempt
+    /// collisions and interference. The private subset — `attempts`,
+    /// `transmitted`, `burst_continuations`, `crashes`, `rejoins` — counts
+    /// this station's own actions and never changes while it stays silent,
+    /// so a quiet replica catching up after a contention fast-forward keeps
+    /// its own values.
+    fn adopt_shared(&mut self, other: &ProtocolCounters) {
+        self.tts_runs = other.tts_runs;
+        self.tts_empty_runs = other.tts_empty_runs;
+        self.sts_runs = other.sts_runs;
+        self.attempt_collisions = other.attempt_collisions;
+        self.probe_collisions = other.probe_collisions;
+        self.probe_empties = other.probe_empties;
+        self.interference_collisions = other.interference_collisions;
+    }
+}
+
+/// The opaque checkpoint an engaged replica hands the engine at the end of
+/// a contention fast-forward run (see [`Station::search_checkpoint`]).
+///
+/// Carries the engaged replica's post-run epoch coordinates plus its full
+/// counter block; a quiet replica rebuilds the shared automaton from the
+/// stamp (the proven resynchronization mechanism), replays only the final
+/// epoch's tail of slot records, and adopts the shared counter subset —
+/// `O(final epoch)` work instead of `O(whole run)`.
+#[derive(Debug, Clone, Copy)]
+struct SearchCheckpoint {
+    stamp: EpochStamp,
+    counters: ProtocolCounters,
 }
 
 /// State of one time tree search in progress.
@@ -744,6 +781,171 @@ impl Station for DdcrStation {
         }
     }
 
+    fn search_hint(&self, _now: Ticks) -> SearchHint {
+        if !matches!(self.mode, Mode::Online) {
+            // Receive-only / fenced replicas stay on the stepped path: they
+            // never veto a run and may rejoin exactly mid-run.
+            return SearchHint::Contend;
+        }
+        if self.queue.is_empty() && self.burst_reserved_for != Some(self.source) {
+            // Nothing to send and no channel hold: every `poll` in every
+            // phase returns `Idle` on an empty queue, and no own-source
+            // frame can appear on the wire to re-arm a reservation while
+            // this replica stays silent — the Quiet promise holds for the
+            // whole run (arrivals terminate it before the queue can grow).
+            SearchHint::Quiet
+        } else {
+            SearchHint::Engage
+        }
+    }
+
+    fn search_checkpoint(&self) -> Option<Box<dyn std::any::Any>> {
+        if !matches!(self.mode, Mode::Online) {
+            return None;
+        }
+        Some(Box::new(SearchCheckpoint {
+            stamp: self.epoch_stamp(),
+            counters: self.counters,
+        }))
+    }
+
+    fn skip_search(
+        &mut self,
+        from: Ticks,
+        records: &[SearchSlotRecord],
+        checkpoint: Option<&dyn std::any::Any>,
+        _slot: Ticks,
+    ) {
+        if matches!(self.mode, Mode::Online) {
+            if let Some(cp) =
+                checkpoint.and_then(|c| c.downcast_ref::<SearchCheckpoint>())
+            {
+                if cp.stamp.start >= from {
+                    // Epoch-anchored shortcut: within one epoch the shared
+                    // state is a pure function of the epoch coordinates and
+                    // the observations since its start (the resynchronization
+                    // soundness argument, see `observe_resync`), so rebuild
+                    // at the boundary and replay only the final epoch's tail.
+                    // The shared counters span the whole run, including the
+                    // epochs skipped over, so adopt them from the engaged
+                    // replica; the private ones are untouched — this replica
+                    // was provably silent.
+                    self.reinitialize_at_epoch(cp.stamp);
+                    for record in records {
+                        if record.at >= cp.stamp.start {
+                            self.observe_online(
+                                record.at,
+                                record.next_free,
+                                &record.observation,
+                            );
+                        }
+                    }
+                    self.counters.adopt_shared(&cp.counters);
+                    return;
+                }
+            }
+            // Short run: the final epoch began before the run did, so the
+            // records cannot anchor a rebuild — exact per-record replay.
+            for record in records {
+                self.observe_online(record.at, record.next_free, &record.observation);
+            }
+            // The reference stepper polls a quiet replica every slot, and an
+            // empty-queue poll clears the frozen time index; mirror that so
+            // the post-run state is bitwise identical.
+            self.time_index = None;
+            self.time_index_for = None;
+        } else {
+            // Defensive (the engine steps non-Online replicas): buffer or
+            // drop through the regular observe path.
+            for record in records {
+                self.observe(record.at, record.next_free, &record.observation);
+            }
+        }
+    }
+
+    fn attempt_cycle_hint(&self, now: Ticks, slot: Ticks) -> Option<AttemptCycleHint> {
+        // Only a synced replica can promise anything about the shared
+        // automaton — a resynchronizing one must buffer every slot, so its
+        // `None` refuses the whole run.
+        if !matches!(self.mode, Mode::Online) {
+            return None;
+        }
+        let m = self.config.time_tree.branching();
+        let veto = Some(AttemptCycleHint {
+            probes: m,
+            cycles: 0,
+            contender: None,
+        });
+        // The loaded idle cycle only exists with compressed time off: with
+        // θ > 0 an empty TTs rolls straight into the next one, no attempt
+        // slot. A burst reservation pre-empts every phase.
+        if self.config.theta_numerator != 0 || self.burst_reserved_for.is_some() {
+            return veto;
+        }
+        // A cycle start is a fresh, unprobed TTs stamped at the current
+        // slot; all synced replicas agree on it.
+        let at_start = matches!(&self.phase, Phase::Tts(state)
+            if !state.transmitted_any && state.search.is_unprobed());
+        if !at_start || self.epoch_start != now {
+            return veto;
+        }
+        let Some(head) = self.queue.head() else {
+            // An empty queue polls `Idle` in every phase: a pure observer
+            // for as long as the run lasts (the engine cuts the run before
+            // any arrival could change that).
+            return Some(AttemptCycleHint {
+                probes: m,
+                cycles: u64::MAX,
+                contender: None,
+            });
+        };
+        // The head sits a fresh TTs out exactly while `raw_f ≥ F` (the
+        // frontier clamp can only raise the index, and the per-head cache
+        // is cleared at every `start_tts`), then transmits at the attempt
+        // slot. Each attempt collision re-reads physical time
+        // (`reft := cycle end`), so cycle `j ≥ 1` of the run sees
+        // `reft = now + j·span` and the sit-out margin shrinks by one
+        // span per cycle; cycle 0 uses the current `reft`.
+        let c = self.config.class_width.as_u64() as i128;
+        let need = self.config.time_tree.leaves() as i128 * c;
+        let dm = head.absolute_deadline().as_u64() as i128;
+        let alpha = self.config.alpha.as_u64() as i128;
+        if dm - alpha - self.reft.as_u64() as i128 - need < 0 {
+            return veto;
+        }
+        let span = (m + 1) as i128 * slot.as_u64() as i128;
+        let q = dm - alpha - now.as_u64() as i128 - need;
+        let extra = if q < 0 { 0 } else { (q / span) as u64 };
+        Some(AttemptCycleHint {
+            probes: m,
+            cycles: 1 + extra,
+            contender: Some(self.source.0),
+        })
+    }
+
+    fn skip_attempt_cycles(&mut self, from: Ticks, cycles: u64, probes: u64, slot: Ticks) {
+        // Only reachable Online, at a cycle start, with θ = 0 (see
+        // `attempt_cycle_hint`). Each cycle is `probes` empty probes, one
+        // empty-TTs completion, one collided attempt (`reft := cycle
+        // end`), then a fresh TTs: only the counters, `reft` and the epoch
+        // coordinates move, and `start_tts` below rebuilds the final fresh
+        // TTs exactly as the last collision's observation would have.
+        self.counters.probe_empties += cycles * probes;
+        self.counters.tts_empty_runs += cycles;
+        self.counters.attempt_collisions += cycles;
+        // The last cycle's fresh TTs is counted by `start_tts`.
+        self.counters.tts_runs += cycles - 1;
+        if !self.queue.is_empty() {
+            // This replica transmitted at every attempt slot of the run:
+            // the engine fences arrivals out, so the queue cannot have
+            // changed since the hint was given.
+            self.counters.attempts += cycles;
+        }
+        let end = from + slot * ((probes + 1) * cycles);
+        self.reft = end;
+        self.start_tts(end);
+    }
+
     fn label(&self) -> String {
         format!("ddcr:{}", self.source)
     }
@@ -1269,6 +1471,125 @@ mod tests {
         }
     }
 
+    /// Drives one loaded idle cycle slot by slot: `m` sat-out probes, then
+    /// a destructively collided attempt slot.
+    fn replay_loaded_cycle(
+        station: &mut DdcrStation,
+        from: Ticks,
+        slot: Ticks,
+        engaged: bool,
+    ) -> Ticks {
+        let mut now = from;
+        for _ in 0..station.config.time_tree.branching() {
+            assert!(matches!(station.poll(now), Action::Idle));
+            station.observe(now, now + slot, &Observation::Silence);
+            now += slot;
+        }
+        let transmitted = matches!(station.poll(now), Action::Transmit(_));
+        assert_eq!(transmitted, engaged, "attempt-slot action at {now}");
+        station.observe(now, now + slot, &Observation::Collision { survivor: None });
+        now + slot
+    }
+
+    #[test]
+    fn attempt_cycle_hint_counts_sit_out_cycles() {
+        let cfg = config();
+        let slot = Ticks(512);
+        let m = cfg.time_tree.branching();
+        let span = (m + 1) * slot.as_u64();
+        let leaves = cfg.time_tree.leaves();
+        let c = cfg.class_width.as_u64();
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, 4).unwrap();
+        let mut station = DdcrStation::new(SourceId(0), cfg, allocation, 208).unwrap();
+        // The head sits a TTs out while `dm − α − reft ≥ F·c`; with
+        // 2.5 spans of slack beyond that threshold the formula promises
+        // exactly 3 cycles (cycle 0 at `reft = 0`, cycles 1–2 at
+        // `reft = span, 2·span`).
+        let dm = cfg.alpha.as_u64() + leaves * c + 2 * span + span / 2;
+        station.deliver(msg(0, 0, 0, dm));
+        let hint = station.attempt_cycle_hint(Ticks::ZERO, slot).unwrap();
+        assert_eq!(hint.probes, m);
+        assert_eq!(hint.cycles, 3);
+        assert_eq!(hint.contender, Some(0));
+        // Tight: replaying exactly those cycles consumes the whole promise…
+        let mut now = Ticks::ZERO;
+        for _ in 0..3 {
+            now = replay_loaded_cycle(&mut station, now, slot, true);
+        }
+        assert_eq!(station.attempt_cycle_hint(now, slot).unwrap().cycles, 0);
+        // …because the head has genuinely entered the tree horizon.
+        let head = *station.queue.head().unwrap();
+        assert!(station.raw_f(&head) >= 0);
+        assert!((station.raw_f(&head) as u64) < leaves);
+    }
+
+    #[test]
+    fn attempt_cycle_hint_vetoes_and_observers() {
+        let slot = Ticks(512);
+        let allocation = StaticAllocation::one_per_source(config().static_tree, 4).unwrap();
+        // Empty queue: an unbounded pure observer.
+        let station = DdcrStation::new(SourceId(1), config(), allocation.clone(), 208).unwrap();
+        let hint = station.attempt_cycle_hint(Ticks::ZERO, slot).unwrap();
+        assert_eq!(hint.cycles, u64::MAX);
+        assert_eq!(hint.contender, None);
+        // Compressed time on: an empty TTs has no attempt slot, so the
+        // loaded idle cycle does not exist.
+        let theta_cfg = config().with_compressed_time(2);
+        let theta_alloc =
+            StaticAllocation::one_per_source(theta_cfg.static_tree, 4).unwrap();
+        let station = DdcrStation::new(SourceId(0), theta_cfg, theta_alloc, 208).unwrap();
+        assert_eq!(station.attempt_cycle_hint(Ticks::ZERO, slot).unwrap().cycles, 0);
+        // Mid-cycle (one probe already observed): not a cycle start.
+        let mut station =
+            DdcrStation::new(SourceId(0), config(), allocation.clone(), 208).unwrap();
+        station.observe(Ticks::ZERO, slot, &Observation::Silence);
+        assert_eq!(station.attempt_cycle_hint(slot, slot).unwrap().cycles, 0);
+        // Resynchronizing: no promise at all — refuses the whole run.
+        let mut station = DdcrStation::new(SourceId(0), config(), allocation, 208).unwrap();
+        station.restart(Ticks::ZERO);
+        assert!(station.attempt_cycle_hint(Ticks::ZERO, slot).is_none());
+    }
+
+    #[test]
+    fn skip_attempt_cycles_matches_replay_exactly() {
+        let slot = Ticks(512);
+        let cfg = config();
+        let m = cfg.time_tree.branching();
+        let span = (m + 1) * slot.as_u64();
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, 4).unwrap();
+        // Slack for far more cycles than any replay below consumes.
+        let dm =
+            cfg.alpha.as_u64() + cfg.time_tree.leaves() * cfg.class_width.as_u64() + 40 * span;
+        for cycles in 1..=6u64 {
+            for engaged in [true, false] {
+                let fresh = || {
+                    let mut s =
+                        DdcrStation::new(SourceId(0), cfg, allocation.clone(), 208).unwrap();
+                    if engaged {
+                        s.deliver(msg(0, 0, 0, dm));
+                    }
+                    s
+                };
+                let mut reference = fresh();
+                let mut skipping = fresh();
+                let mut now = Ticks::ZERO;
+                for _ in 0..cycles {
+                    now = replay_loaded_cycle(&mut reference, now, slot, engaged);
+                }
+                skipping.skip_attempt_cycles(Ticks::ZERO, cycles, m, slot);
+                assert_eq!(
+                    full_digest(&reference),
+                    full_digest(&skipping),
+                    "cycles={cycles} engaged={engaged}"
+                );
+                assert_eq!(
+                    reference.counters().attempts,
+                    if engaged { cycles } else { 0 }
+                );
+            }
+        }
+    }
+
     #[test]
     fn skip_busy_matches_replay_for_quiet_replica() {
         let cfg = config().with_bursting(crate::config::BurstConfig::default());
@@ -1330,12 +1651,13 @@ mod tests {
     }
 
     #[test]
-    fn busy_fast_forward_matches_reference_for_bursting_network() {
-        let run = |fast: bool, busy: bool| {
+    fn fast_forward_tiers_match_reference_for_bursting_network() {
+        let run = |fast: bool, busy: bool, contention: bool| {
             let cfg = config().with_bursting(crate::config::BurstConfig::default());
             let mut engine = network(4, cfg, MediumConfig::ethernet());
             engine.set_fast_forward(fast);
             engine.set_busy_fast_forward(busy);
+            engine.set_contention_fast_forward(contention);
             // Clustered small messages so acquisitions chain into bursts.
             let arrivals: Vec<Message> = (0..16)
                 .map(|i| Message {
@@ -1347,11 +1669,123 @@ mod tests {
             engine.run_to_completion(Ticks(50_000_000)).unwrap();
             engine.into_stats()
         };
-        let reference = run(false, false);
+        let reference = run(false, false, false);
         assert_eq!(reference.deliveries.len(), 16);
-        for (fast, busy) in [(true, true), (false, true), (true, false)] {
-            assert_eq!(run(fast, busy), reference, "fast={fast} busy={busy}");
+        for fast in [false, true] {
+            for busy in [false, true] {
+                for contention in [false, true] {
+                    if !fast && !busy && !contention {
+                        continue;
+                    }
+                    assert_eq!(
+                        run(fast, busy, contention),
+                        reference,
+                        "fast={fast} busy={busy} contention={contention}"
+                    );
+                }
+            }
         }
+    }
+
+    #[test]
+    fn skip_search_matches_replay_exactly() {
+        let cfg = config();
+        let medium = MediumConfig::ethernet();
+        let allocation = StaticAllocation::one_per_source(cfg.static_tree, 3).unwrap();
+        let mk = |i| {
+            DdcrStation::new(SourceId(i), cfg, allocation.clone(), medium.overhead_bits)
+                .unwrap()
+        };
+        // Stations 0 and 1 contend (same-class collision forces TTs → STs →
+        // resolution, crossing several epoch boundaries); station 2 stays
+        // quiet throughout.
+        let mut engaged = [mk(0), mk(1)];
+        engaged[0].deliver(msg(0, 0, 0, 500_000));
+        engaged[0].deliver(msg(1, 0, 0, 900_000));
+        engaged[1].deliver(msg(2, 1, 0, 500_000));
+        let mut quiet = mk(2);
+        assert_eq!(quiet.search_hint(Ticks::ZERO), SearchHint::Quiet);
+        assert_eq!(engaged[0].search_hint(Ticks::ZERO), SearchHint::Engage);
+
+        // Drive the contention to completion slot by slot, recording every
+        // slot, the quiet replica's state after it, and the checkpoint an
+        // engaged replica would hand the engine at that point.
+        let mut records = Vec::new();
+        let mut snapshots = vec![quiet.clone()];
+        let mut checkpoints = Vec::new();
+        let mut now = Ticks::ZERO;
+        let mut slots_after_drain = 0;
+        while slots_after_drain < 4 && records.len() < 200 {
+            if engaged.iter().all(|s| s.backlog() == 0) {
+                slots_after_drain += 1;
+            }
+            let frames: Vec<Frame> = engaged
+                .iter_mut()
+                .filter_map(|s| match s.poll(now) {
+                    Action::Transmit(f) => Some(f),
+                    Action::Idle => None,
+                })
+                .collect();
+            let (obs, advance) = match frames.len() {
+                0 => (Observation::Silence, Ticks(512)),
+                1 => (Observation::Busy(frames[0]), frames[0].duration()),
+                _ => (Observation::Collision { survivor: None }, Ticks(512)),
+            };
+            let next_free = now + advance;
+            for s in &mut engaged {
+                s.observe(now, next_free, &obs);
+            }
+            quiet.observe(now, next_free, &obs);
+            records.push(SearchSlotRecord {
+                at: now,
+                next_free,
+                observation: obs,
+            });
+            snapshots.push(quiet.clone());
+            checkpoints.push(engaged[0].search_checkpoint());
+            now = next_free;
+        }
+        assert!(engaged.iter().all(|s| s.backlog() == 0), "drain stalled");
+        assert!(records.len() >= 8, "contention resolved suspiciously fast");
+
+        // Every (start, end) window is a possible fast-forward run: a quiet
+        // replica at state `start` must land on the reference state at `end`
+        // from one skip_search call. Short windows exercise the full-replay
+        // fallback (the checkpoint's epoch began before the run); long ones
+        // exercise the epoch-anchored rebuild.
+        for start in 0..records.len() {
+            for end in start..records.len() {
+                let mut skipping = snapshots[start].clone();
+                skipping.skip_search(
+                    records[start].at,
+                    &records[start..=end],
+                    checkpoints[end].as_deref(),
+                    Ticks(512),
+                );
+                assert_eq!(
+                    full_digest(&skipping),
+                    full_digest(&snapshots[end + 1]),
+                    "window {start}..={end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resyncing_station_reports_contend_hint() {
+        let mut station = DdcrStation::new(
+            SourceId(0),
+            config(),
+            StaticAllocation::one_per_source(config().static_tree, 4).unwrap(),
+            208,
+        )
+        .unwrap();
+        station.crash(Ticks::ZERO);
+        assert_eq!(station.search_hint(Ticks::ZERO), SearchHint::Contend);
+        assert!(station.search_checkpoint().is_none());
+        station.restart(Ticks(512));
+        assert_eq!(station.search_hint(Ticks(512)), SearchHint::Contend);
+        assert!(station.search_checkpoint().is_none());
     }
 
     #[test]

@@ -10,11 +10,11 @@
 //! (throughput normalised to 1 bit/tick), which keeps the engine's
 //! accounting aligned with the `B_DDCR` bound of §4.3 (`Σ l'/ψ + x·S`).
 
-use crate::channel::{Action, MediumConfig, Observation};
-use crate::fault::{FaultPlan, SlotFaults};
+use crate::channel::{Action, CollisionMode, MediumConfig, Observation};
+use crate::fault::{fence_cap, FaultPlan, SlotFaults};
 use crate::message::{Delivery, Frame, Message};
-use crate::metrics::{PhaseHint, SimMetrics, XiBoundTable};
-use crate::station::{HoldHint, Station};
+use crate::metrics::{PhaseHint, ProtocolPhase, SimMetrics, XiBoundTable};
+use crate::station::{HoldHint, SearchHint, SearchSlotRecord, Station};
 use crate::stats::ChannelStats;
 use crate::time::Ticks;
 use crate::trace::{JsonlSink, Trace, TraceEvent};
@@ -110,6 +110,18 @@ pub struct Engine {
     busy_fast_forward: bool,
     /// Scratch buffer for the frames of one busy run, reused across runs.
     busy_frames: Vec<Frame>,
+    /// Contention (tree-search) fast-forward (on by default): contended
+    /// stretches are resolved by stepping only the engaged stations while
+    /// the quiet majority is caught up once per run. Independently
+    /// switchable from the other two tiers for bisection.
+    contention_fast_forward: bool,
+    /// Scratch buffer for the slot records of one contention run.
+    search_records: Vec<SearchSlotRecord>,
+    /// Scratch buffer for the engaged station indices of one contention run.
+    search_engaged: Vec<usize>,
+    /// Scratch buffer for the contender source ids of one analytic
+    /// attempt-cycle run.
+    cycle_sources: Vec<u32>,
     /// Streaming observability (None by default: zero overhead).
     metrics: Option<SimMetrics>,
     /// Streaming JSONL trace export (None by default).
@@ -153,6 +165,10 @@ impl Engine {
             fast_forward: true,
             busy_fast_forward: true,
             busy_frames: Vec::new(),
+            contention_fast_forward: true,
+            search_records: Vec::new(),
+            search_engaged: Vec::new(),
+            cycle_sources: Vec::new(),
             metrics: None,
             sink: None,
         })
@@ -265,6 +281,22 @@ impl Engine {
     /// fault fencing are bitwise identical to the reference stepper.
     pub fn set_busy_fast_forward(&mut self, enabled: bool) -> &mut Self {
         self.busy_fast_forward = enabled;
+        self
+    }
+
+    /// Enables or disables contention (tree-search) fast-forward (on by
+    /// default), independently of the other two tiers so every mechanism
+    /// can be bisected on its own.
+    ///
+    /// With contention fast-forward on, a contended stretch — a DDCR tree
+    /// search resolving a collision, a backlog drain interleaved with
+    /// probe slots — is run by stepping only the stations engaged in it
+    /// (see [`SearchHint`]); the quiet majority is caught up once per run
+    /// through [`Station::skip_search`]. Statistics, traces, metrics
+    /// attribution and fault fencing are bitwise identical to the
+    /// reference stepper.
+    pub fn set_contention_fast_forward(&mut self, enabled: bool) -> &mut Self {
+        self.contention_fast_forward = enabled;
         self
     }
 
@@ -415,7 +447,9 @@ impl Engine {
         // fast path's early `deliver_due` would otherwise race restart
         // processing, and a corrupted silent slot is not silent (nor is a
         // corrupted busy slot busy).
-        if (self.fast_forward || self.busy_fast_forward) && !self.fault_transition_due() {
+        if (self.fast_forward || self.busy_fast_forward || self.contention_fast_forward)
+            && !self.fault_transition_due()
+        {
             self.deliver_due();
             if stop_on_drain && self.backlog_stale && self.tracked_backlog() == 0 {
                 // `deliver_due` just recorded the final pending arrivals as
@@ -434,6 +468,9 @@ impl Engine {
                 }
             }
             if self.busy_fast_forward && self.try_busy_run(limit) {
+                return;
+            }
+            if self.contention_fast_forward && self.try_search_run(limit) {
                 return;
             }
         }
@@ -484,18 +521,14 @@ impl Engine {
         }
         let target = horizon.map_or(limit, |h| h.min(limit));
         let span = target.saturating_sub(self.now);
-        let mut slots = span.div_ceil_slots(Ticks(self.medium.slot_ticks));
-        if !self.faults.is_empty() {
-            // Never jump over a scheduled fault or a pending restart: the
-            // slot they strike must go through the reference stepper.
-            let mut wake = self.faults.next_event_at_or_after(self.slot_ordinal);
-            for &restart in self.down.iter().flatten() {
-                wake = Some(wake.map_or(restart, |w| w.min(restart)));
-            }
-            if let Some(w) = wake {
-                slots = slots.min(w.saturating_sub(self.slot_ordinal));
-            }
-        }
+        // Never jump over a scheduled fault or a pending restart: the slot
+        // they strike must go through the reference stepper.
+        let slots = fence_cap(
+            &self.faults,
+            &self.down,
+            self.slot_ordinal,
+            span.div_ceil_slots(Ticks(self.medium.slot_ticks)),
+        );
         (slots > 0).then_some(slots)
     }
 
@@ -562,17 +595,9 @@ impl Engine {
         let Some(holder) = holder else {
             return false;
         };
-        if !self.faults.is_empty() {
-            // Never run into a scheduled fault or a pending restart: the
-            // slot they strike must go through the reference stepper.
-            let mut wake = self.faults.next_event_at_or_after(self.slot_ordinal);
-            for &restart in self.down.iter().flatten() {
-                wake = Some(wake.map_or(restart, |w| w.min(restart)));
-            }
-            if let Some(w) = wake {
-                max_frames = max_frames.min(w.saturating_sub(self.slot_ordinal));
-            }
-        }
+        // Never run into a scheduled fault or a pending restart: the slot
+        // they strike must go through the reference stepper.
+        max_frames = fence_cap(&self.faults, &self.down, self.slot_ordinal, max_frames);
         if max_frames == 0 {
             return false;
         }
@@ -636,6 +661,298 @@ impl Engine {
         }
         self.busy_frames = frames;
         done > 0
+    }
+
+    /// Attempts a fast-forwarded contention (tree-search) run from `now`.
+    /// Returns `true` when at least one decision slot was resolved.
+    ///
+    /// Call only after [`Engine::deliver_due`] with no fault transition
+    /// due. Gathers every live station's [`Station::search_hint`]; the run
+    /// proceeds only when at least one station answers
+    /// [`SearchHint::Engage`] and at least one answers
+    /// [`SearchHint::Quiet`] — the engaged (and contending) stations are
+    /// then stepped through the reference per-slot cycle while the quiet
+    /// ones are caught up once at the end. The run length is capped by the
+    /// next scheduled fault/restart ordinal (the same fencing as the other
+    /// tiers), the next pending arrival, and `limit`.
+    fn try_search_run(&mut self, limit: Ticks) -> bool {
+        // The analytic tier first: a run of deterministic loaded idle
+        // cycles resolves in one step, no chorus stepping at all.
+        if self.try_attempt_cycle_run(limit) {
+            return true;
+        }
+        let mut engaged = std::mem::take(&mut self.search_engaged);
+        engaged.clear();
+        let mut quiet = 0usize;
+        let mut committed = false;
+        for (idx, station) in self.stations.iter().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
+            match station.search_hint(self.now) {
+                SearchHint::Quiet => quiet += 1,
+                SearchHint::Engage => {
+                    committed = true;
+                    engaged.push(idx);
+                }
+                SearchHint::Contend => engaged.push(idx),
+            }
+        }
+        let max_slots = fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX);
+        let mut ran = false;
+        if quiet > 0 && committed && max_slots > 0 && self.hint_attributable(&engaged) {
+            ran = self.run_search(&engaged, max_slots, limit);
+        }
+        self.search_engaged = engaged;
+        ran
+    }
+
+    /// Whether metrics attribution inside a contention run would match the
+    /// reference stepper: the per-slot [`PhaseHint`] must come from an
+    /// engaged station (quiet stations go stale for the duration of the
+    /// run), so if only a quiet station can attribute the slot the run is
+    /// refused. Synced replicas agree on the shared automaton, hence an
+    /// engaged synced answer *is* the reference answer; engaged stations
+    /// stay live for the whole (fault-fenced) run, so the check holds
+    /// run-wide. Vacuously true with metrics disabled.
+    fn hint_attributable(&self, engaged: &[usize]) -> bool {
+        if self.metrics.is_none() {
+            return true;
+        }
+        engaged
+            .iter()
+            .any(|&idx| self.stations[idx].phase_hint().is_some())
+            || self.current_phase_hint().is_none()
+    }
+
+    /// The contention-run chorus loop: polls and observes only the engaged
+    /// stations, slot by slot, with full per-slot statistics / trace /
+    /// metrics accounting (each slot is attributed exactly as the
+    /// reference stepper would — quiet stations poll [`Action::Idle`] by
+    /// contract, so the resolved outcome is identical), then catches the
+    /// quiet stations up once through [`Station::skip_search`], handing
+    /// them the engaged stations' synchronization checkpoint. Stops before
+    /// any slot with a pending arrival due, at `limit`, and as soon as
+    /// every engaged backlog drains (the channel is provably silent from
+    /// there on; the idle tier takes over).
+    fn run_search(&mut self, engaged: &[usize], max_slots: u64, limit: Ticks) -> bool {
+        let mut records = std::mem::take(&mut self.search_records);
+        records.clear();
+        let from = self.now;
+        let slot = Ticks(self.medium.slot_ticks);
+        while (records.len() as u64) < max_slots && self.now < limit {
+            if self.pending.last().is_some_and(|m| m.arrival <= self.now) {
+                // The reference stepper would deliver this arrival before
+                // polling; stop so the next `advance` does exactly that.
+                break;
+            }
+            let mut transmitters = std::mem::take(&mut self.transmitters);
+            transmitters.clear();
+            for &idx in engaged {
+                if let Action::Transmit(frame) = self.stations[idx].poll(self.now) {
+                    transmitters.push(frame);
+                }
+            }
+            // Attribute the slot before observations mutate the shared
+            // automaton; an engaged synced replica's answer equals the
+            // reference stepper's (see `hint_attributable`).
+            let hint = if self.metrics.is_some() {
+                engaged
+                    .iter()
+                    .find_map(|&idx| self.stations[idx].phase_hint())
+            } else {
+                None
+            };
+            let (observation, advance) = self.medium.resolve(&transmitters);
+            self.transmitters = transmitters;
+            let next_free = self.now + advance;
+            self.account(&observation, next_free, &SlotFaults::default());
+            if self.metrics.is_some() {
+                self.observe_metrics(hint, &observation, &SlotFaults::default());
+            }
+            for &idx in engaged {
+                self.stations[idx].observe(self.now, next_free, &observation);
+            }
+            records.push(SearchSlotRecord {
+                at: self.now,
+                next_free,
+                observation,
+            });
+            self.now = next_free;
+            self.slot_ordinal += 1;
+            if engaged.iter().all(|&idx| self.stations[idx].backlog() == 0) {
+                break;
+            }
+            if self.busy_fast_forward
+                && engaged
+                    .iter()
+                    .any(|&idx| matches!(self.stations[idx].hold_hint(self.now), HoldHint::Hold(_)))
+            {
+                // An engaged station just committed to a hold (e.g. a burst
+                // acquisition): yield to the busy tier, which skips the held
+                // frames in one step instead of chorus-stepping them here.
+                break;
+            }
+        }
+        let done = records.len() as u64;
+        if done > 0 {
+            let checkpoint = engaged
+                .iter()
+                .find_map(|&idx| self.stations[idx].search_checkpoint());
+            for (idx, station) in self.stations.iter_mut().enumerate() {
+                if self.down[idx].is_some() || engaged.contains(&idx) {
+                    continue;
+                }
+                station.skip_search(from, &records, checkpoint.as_deref(), slot);
+            }
+            if let Some(metrics) = self.metrics.as_mut() {
+                metrics.on_search_skip(done);
+            }
+        }
+        self.search_records = records;
+        done > 0
+    }
+
+    /// Attempts an analytic attempt-cycle run from `now`: a stretch of
+    /// *loaded idle cycles* — every backlogged station sits the whole time
+    /// tree search out and collides at the attempt slot, cycle after cycle
+    /// — resolved in bulk without stepping any station through the slots.
+    /// Returns `true` when at least one whole cycle was resolved.
+    ///
+    /// Call only after [`Engine::deliver_due`] with no fault transition
+    /// due. The run starts only when the medium destroys collisions (an
+    /// arbitrating one delivers a survivor, which changes the dynamics),
+    /// every live station answers [`Station::attempt_cycle_hint`] with the
+    /// same cycle shape, and at least two are contenders. The cycle count
+    /// is the minimum promise, cut at whole-cycle boundaries by the next
+    /// pending arrival, the fault fence, and `limit`; the remainder falls
+    /// through to the chorus loop and the reference stepper.
+    fn try_attempt_cycle_run(&mut self, limit: Ticks) -> bool {
+        if !matches!(self.medium.collision_mode, CollisionMode::Destructive) {
+            return false;
+        }
+        let slot = Ticks(self.medium.slot_ticks);
+        let mut sources = std::mem::take(&mut self.cycle_sources);
+        sources.clear();
+        let mut probes: Option<u64> = None;
+        let mut cycles = u64::MAX;
+        let mut refused = false;
+        for (idx, station) in self.stations.iter().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
+            let Some(hint) = station.attempt_cycle_hint(self.now, slot) else {
+                refused = true;
+                break;
+            };
+            if *probes.get_or_insert(hint.probes) != hint.probes {
+                refused = true;
+                break;
+            }
+            cycles = cycles.min(hint.cycles);
+            if let Some(source) = hint.contender {
+                // Attachment order, like the reference poll loop gathers
+                // this slot's transmitters.
+                sources.push(source);
+            }
+        }
+        let Some(probes) = probes.filter(|_| !refused) else {
+            self.cycle_sources = sources;
+            return false;
+        };
+        if sources.len() < 2 {
+            self.cycle_sources = sources;
+            return false;
+        }
+        // The reference stepper runs a slot iff it starts before `limit`
+        // and before the earliest pending arrival (delivered at that
+        // slot's start); a cycle is bulk-resolvable only while its last
+        // slot — the attempt — still qualifies.
+        let span = slot.as_u64() * (probes + 1);
+        let mut horizon = limit;
+        if let Some(next) = self.pending.last() {
+            horizon = horizon.min(next.arrival);
+        }
+        let room = horizon.saturating_sub(self.now).as_u64();
+        let within_horizon = match room.checked_sub(probes * slot.as_u64() + 1) {
+            Some(e) => e / span + 1,
+            None => 0,
+        };
+        cycles = cycles.min(within_horizon);
+        // Never run into a scheduled fault or a pending restart: the slot
+        // they strike must go through the reference stepper.
+        let fenced_slots = fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX);
+        cycles = cycles.min(fenced_slots / (probes + 1));
+        if cycles == 0 {
+            self.cycle_sources = sources;
+            return false;
+        }
+        self.run_attempt_cycles(probes, cycles, &sources);
+        self.cycle_sources = sources;
+        true
+    }
+
+    /// Resolves `cycles` whole loaded idle cycles in one step: identical
+    /// statistics, trace events, and metrics attribution as stepping the
+    /// `cycles · (probes + 1)` slots, with every live station caught up
+    /// once through [`Station::skip_attempt_cycles`].
+    fn run_attempt_cycles(&mut self, probes: u64, cycles: u64, sources: &[u32]) {
+        let slot = Ticks(self.medium.slot_ticks);
+        let span = slot * (probes + 1);
+        let from = self.now;
+        self.stats.silence_slots += cycles * probes;
+        self.stats.collisions += cycles;
+        // Queues are untouched by promise, but keep the cache honest the
+        // way `account` does for any collision slot.
+        self.backlog_stale = true;
+        if self.trace.is_enabled() || self.sink.is_some() {
+            for k in 0..cycles {
+                let start = from + span * k;
+                for p in 0..probes {
+                    self.emit(TraceEvent::Silence {
+                        at: start + slot * p,
+                    });
+                }
+                self.emit(TraceEvent::Collision {
+                    at: start + slot * probes,
+                    survivor: None,
+                });
+            }
+        }
+        if let Some(metrics) = self.metrics.as_mut() {
+            // Mirror the reference stepper's per-slot attribution: each
+            // cycle is one epoch (`start_tts` stamps the fresh TTs at the
+            // cycle boundary), its probes belong to the time search and
+            // its attempt slot to the attempt phase, and the colliding
+            // sources are seen in attachment order.
+            for k in 0..cycles {
+                let epoch_start = from + span * k;
+                let probe_hint = Some(PhaseHint {
+                    phase: ProtocolPhase::TimeSearch,
+                    epoch_start,
+                });
+                for _ in 0..probes {
+                    metrics.on_slot(probe_hint, 1, 0, false);
+                }
+                let attempt_hint = Some(PhaseHint {
+                    phase: ProtocolPhase::Attempt,
+                    epoch_start,
+                });
+                metrics.on_slot(attempt_hint, 1, 2, false);
+                for &source in sources {
+                    metrics.on_collision_seen(source as usize);
+                }
+            }
+            metrics.on_search_skip(cycles * (probes + 1));
+        }
+        for (idx, station) in self.stations.iter_mut().enumerate() {
+            if self.down[idx].is_some() {
+                continue;
+            }
+            station.skip_attempt_cycles(from, cycles, probes, slot);
+        }
+        self.now = from + span * cycles;
+        self.slot_ordinal += cycles * (probes + 1);
     }
 
     /// Processes the fault transitions due at the current slot ordinal:
@@ -1266,6 +1583,204 @@ mod tests {
         assert_eq!(fast.busy_skipped_slots, 5);
         assert_eq!(fast.busy_skip_runs, 1);
         assert_eq!(reference.busy_skipped_slots, 0);
+    }
+
+    /// A greedy transmitter that additionally implements the contention
+    /// fast-forward contract: engaged while it holds work, quiet (and
+    /// bulk-catch-up-able) otherwise. Observations are mirrored into a
+    /// shared log so tests can compare what a quiet station heard across
+    /// steppers.
+    struct SearchingStation {
+        inner: GreedyStation,
+        search_skipped: std::rc::Rc<std::cell::Cell<u64>>,
+        log: std::rc::Rc<std::cell::RefCell<Vec<(Ticks, Ticks, Observation)>>>,
+    }
+
+    impl SearchingStation {
+        fn new() -> Self {
+            SearchingStation {
+                inner: GreedyStation::new(MediumConfig::ethernet().overhead_bits),
+                search_skipped: std::rc::Rc::default(),
+                log: std::rc::Rc::default(),
+            }
+        }
+    }
+
+    impl Station for SearchingStation {
+        fn deliver(&mut self, message: Message) {
+            self.inner.deliver(message);
+        }
+        fn poll(&mut self, now: Ticks) -> Action {
+            self.inner.poll(now)
+        }
+        fn observe(&mut self, now: Ticks, next_free: Ticks, observation: &Observation) {
+            self.log.borrow_mut().push((now, next_free, *observation));
+            self.inner.observe(now, next_free, observation);
+        }
+        fn backlog(&self) -> usize {
+            self.inner.backlog()
+        }
+        fn next_ready(&self, now: Ticks) -> Option<Ticks> {
+            if self.inner.queue.is_empty() {
+                None
+            } else {
+                Some(now)
+            }
+        }
+        fn search_hint(&self, _now: Ticks) -> SearchHint {
+            if self.inner.queue.is_empty() {
+                SearchHint::Quiet
+            } else {
+                SearchHint::Engage
+            }
+        }
+        fn skip_search(
+            &mut self,
+            from: Ticks,
+            records: &[SearchSlotRecord],
+            _checkpoint: Option<&dyn std::any::Any>,
+            _slot: Ticks,
+        ) {
+            self.search_skipped
+                .set(self.search_skipped.get() + records.len() as u64);
+            let _ = from;
+            // Replay through `observe` so the shared log records exactly
+            // what the reference stepper would have reported.
+            for r in records {
+                self.observe(r.at, r.next_free, &r.observation);
+            }
+        }
+    }
+
+    /// Builds a three-station [`SearchingStation`] engine on an arbitrating
+    /// medium (collisions resolve to the lowest source, so greedy
+    /// contenders make progress) with the given fast-forward switches.
+    /// Returns the engine plus station 2's skip counter and observation
+    /// log — the tests keep station 2 quiet.
+    #[allow(clippy::type_complexity)]
+    fn searching_trio(
+        fast: bool,
+        busy: bool,
+        contention: bool,
+    ) -> (
+        Engine,
+        std::rc::Rc<std::cell::Cell<u64>>,
+        std::rc::Rc<std::cell::RefCell<Vec<(Ticks, Ticks, Observation)>>>,
+    ) {
+        let mut cfg = MediumConfig::ethernet();
+        cfg.collision_mode = CollisionMode::Arbitrating;
+        let mut e = Engine::new(cfg).unwrap();
+        e.set_fast_forward(fast);
+        e.set_busy_fast_forward(busy);
+        e.set_contention_fast_forward(contention);
+        e.set_trace(Trace::enabled());
+        let quiet = SearchingStation::new();
+        let skipped = quiet.search_skipped.clone();
+        let log = quiet.log.clone();
+        e.add_station(Box::new(SearchingStation::new()));
+        e.add_station(Box::new(SearchingStation::new()));
+        e.add_station(Box::new(quiet));
+        (e, skipped, log)
+    }
+
+    #[test]
+    fn search_run_matches_reference_stepper_bitwise() {
+        // Stations 0 and 1 contend (two arbitrated collisions, then a lone
+        // success) while station 2 stays quiet: every switch combination
+        // must produce identical stats, trace, timing, and quiet-station
+        // observations.
+        let run = |fast: bool, busy: bool, contention: bool| {
+            let (mut e, skipped, log) = searching_trio(fast, busy, contention);
+            e.add_arrivals([msg(0, 0, 0), msg(1, 0, 0), msg(10, 1, 0)]).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            (e, skipped, log)
+        };
+        let (reference, ref_skipped, ref_log) = run(false, false, false);
+        assert_eq!(ref_skipped.get(), 0, "reference must not search-skip");
+        assert_eq!(reference.stats().collisions, 2);
+        for fast in [false, true] {
+            for busy in [false, true] {
+                for contention in [false, true] {
+                    if !(fast || busy || contention) {
+                        continue;
+                    }
+                    let (e, skipped, log) = run(fast, busy, contention);
+                    let tag = format!("fast={fast} busy={busy} contention={contention}");
+                    assert_eq!(e.now(), reference.now(), "{tag}");
+                    assert_eq!(e.stats(), reference.stats(), "{tag}");
+                    assert_eq!(e.trace().events(), reference.trace().events(), "{tag}");
+                    assert_eq!(*log.borrow(), *ref_log.borrow(), "{tag}");
+                    // Bisection: the quiet station is caught up in bulk
+                    // exactly when contention fast-forward is on.
+                    assert_eq!(skipped.get() > 0, contention, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_run_stops_for_an_arrival_landing_mid_drain() {
+        // Station 2's arrival lands while frame 2 of station 0's drain is
+        // on the wire; the run must break at the next decision slot so the
+        // arrival is delivered exactly where the reference stepper would —
+        // and station 2 flips from quiet to engaged for the second run.
+        let run = |contention: bool| {
+            let (mut e, skipped, _) = searching_trio(true, true, contention);
+            e.add_arrivals((0..3).map(|i| msg(i, 0, 0))).unwrap();
+            e.add_arrivals([msg(7, 2, 1_500)]).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            (e, skipped)
+        };
+        let (fast, skipped) = run(true);
+        let (reference, _) = run(false);
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.trace().events(), reference.trace().events());
+        assert_eq!(fast.stats().deliveries.len(), 4);
+        assert!(skipped.get() > 0);
+    }
+
+    #[test]
+    fn search_run_refuses_to_cross_a_scheduled_fault() {
+        use crate::fault::{FaultEvent, FaultKind};
+        // An erasure strikes slot 2, mid-contention: the run must stop at
+        // ordinal 2 and hand the slot to the reference stepper.
+        let run = |contention: bool| {
+            let (mut e, _, _) = searching_trio(true, true, contention);
+            e.set_fault_plan(FaultPlan::from_events(vec![FaultEvent {
+                slot: 2,
+                kind: FaultKind::EraseFrame,
+            }]));
+            e.add_arrivals([msg(0, 0, 0), msg(1, 0, 0), msg(10, 1, 0)]).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            e
+        };
+        let fast = run(true);
+        let reference = run(false);
+        assert_eq!(fast.stats(), reference.stats());
+        assert_eq!(fast.trace().events(), reference.trace().events());
+        assert_eq!(fast.stats().erased_frames, 1);
+        assert_eq!(fast.stats().deliveries.len(), 3);
+    }
+
+    #[test]
+    fn search_run_metrics_are_fully_attributed() {
+        // Contention-skipped slots keep exact per-slot metrics attribution;
+        // the skip counters are telemetry on top, not an accounting bucket.
+        let run = |contention: bool| {
+            let (mut e, _, _) = searching_trio(true, true, contention);
+            e.enable_metrics();
+            e.add_arrivals([msg(0, 0, 0), msg(1, 0, 0), msg(10, 1, 0)]).unwrap();
+            e.run_to_completion(Ticks(1_000_000)).unwrap();
+            e.take_metrics().unwrap()
+        };
+        let fast = run(true);
+        let reference = run(false);
+        assert_eq!(fast.phase_slots, reference.phase_slots);
+        assert_eq!(fast.stations(), reference.stations());
+        assert_eq!(fast.violations_total, reference.violations_total);
+        assert_eq!(fast.search_skipped_slots, 3);
+        assert_eq!(fast.search_skip_runs, 1);
+        assert_eq!(reference.search_skipped_slots, 0);
     }
 
     #[test]

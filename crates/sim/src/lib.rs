@@ -51,7 +51,7 @@ pub use metrics::{
     LatencyHistogram, MetricsViolation, PhaseHint, PhaseSlots, ProtocolPhase, SearchKind,
     SimMetrics, StationMetrics, XiBoundTable, HISTOGRAM_BUCKETS,
 };
-pub use station::{HoldHint, Station};
+pub use station::{AttemptCycleHint, HoldHint, SearchHint, SearchSlotRecord, Station};
 pub use stats::{ChannelStats, QuantileError};
 pub use time::Ticks;
 pub use trace::{JsonlSink, Trace, TraceEvent, TRACE_SCHEMA, TRACE_SCHEMA_VERSION};

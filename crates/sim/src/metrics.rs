@@ -361,6 +361,14 @@ pub struct SimMetrics {
     pub busy_skipped_slots: u64,
     /// Number of busy fast-forward runs.
     pub busy_skip_runs: u64,
+    /// Decision slots resolved inside contention fast-forward runs. Like
+    /// [`SimMetrics::busy_skipped_slots`], every one of these slots is
+    /// *fully* attributed through [`SimMetrics::on_slot`] (the engaged
+    /// stations are stepped slot by slot), so this is pure fast-path
+    /// telemetry, not an accounting bucket.
+    pub search_skipped_slots: u64,
+    /// Number of contention fast-forward runs.
+    pub search_skip_runs: u64,
 }
 
 impl SimMetrics {
@@ -595,6 +603,21 @@ impl SimMetrics {
     pub fn on_busy_skip(&mut self, slots: u64) {
         self.busy_skipped_slots += slots;
         self.busy_skip_runs += 1;
+    }
+
+    /// Notes a fast-forwarded contention run of `slots` resolved decision
+    /// slots.
+    ///
+    /// Exactly like [`SimMetrics::on_busy_skip`], every slot of a
+    /// contention run has already been attributed through
+    /// [`SimMetrics::on_slot`] with the reference stepper's [`PhaseHint`]s
+    /// (taken from an engaged synced replica, whose shared automaton every
+    /// caught-up quiet replica agrees with). Observed-ξ windows are
+    /// therefore *exact* across contention skips, not merely conservative.
+    /// This method only updates the fast-path telemetry counters.
+    pub fn on_search_skip(&mut self, slots: u64) {
+        self.search_skipped_slots += slots;
+        self.search_skip_runs += 1;
     }
 
     /// Closes any windows still open (a run cutoff mid-search); they are

@@ -28,6 +28,70 @@ pub enum HoldHint {
     Hold(u64),
 }
 
+/// How a station relates to an upcoming stretch of **contended** decision
+/// slots — a tree-search resolution — (see [`Station::search_hint`]).
+///
+/// The engine fast-forwards a contention run by stepping only the engaged
+/// stations ([`SearchHint::Engage`] and, conservatively,
+/// [`SearchHint::Contend`]) slot by slot while every [`SearchHint::Quiet`]
+/// station is caught up once at the end of the run through
+/// [`Station::skip_search`]. At least one `Engage` and one `Quiet` answer
+/// are required for a run to start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchHint {
+    /// No promise: the station must be polled and observed every slot (the
+    /// conservative default). Unlike [`HoldHint::Contend`] this does not
+    /// veto the run — the engine simply keeps stepping the station.
+    Contend,
+    /// The station guarantees it polls [`Action::Idle`] at every decision
+    /// slot until something new is delivered to it, *whatever* the channel
+    /// does meanwhile (successes, collisions, silence). It accepts being
+    /// caught up in bulk through [`Station::skip_search`].
+    Quiet,
+    /// The station is (or may be) actively resolving channel contention —
+    /// it must be stepped slot by slot, and its participation is what makes
+    /// the run worth fast-forwarding for the quiet majority.
+    Engage,
+}
+
+/// A station's promise about a run of *loaded idle cycles* — the
+/// contention regime in which every backlogged station sits the whole time
+/// tree search out (its deadline class lies beyond the horizon) and then
+/// collides at the attempt slot, deterministically, cycle after cycle (see
+/// [`Station::attempt_cycle_hint`]).
+///
+/// Each cycle is `probes` provably silent probe slots followed by one
+/// destructively collided attempt slot, so an entire run is a pure
+/// function of its start time and the cycle count: the engine resolves it
+/// analytically in one step instead of chorus-stepping every contender
+/// through every slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptCycleHint {
+    /// Silent probe slots at the start of each cycle (the protocol's
+    /// time-tree branching degree for DDCR).
+    pub probes: u64,
+    /// Consecutive cycles the promise covers from `now`; `0` vetoes a
+    /// bulk run without vetoing the slot-by-slot paths.
+    pub cycles: u64,
+    /// `Some(source id)` when this station transmits — and collides — at
+    /// every attempt slot of the run; `None` for a provably silent
+    /// observer. A run needs at least two contenders (a lone transmitter
+    /// would resolve `Busy`, zero would be pure silence).
+    pub contender: Option<u32>,
+}
+
+/// One resolved decision slot of a contention fast-forward run, recorded so
+/// quiet stations can be caught up exactly (see [`Station::skip_search`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchSlotRecord {
+    /// When the decision slot started.
+    pub at: Ticks,
+    /// When the channel became free again.
+    pub next_free: Ticks,
+    /// The channel outcome every station would have observed.
+    pub observation: Observation,
+}
+
 /// A station (message source `s_i`) attached to the broadcast medium.
 ///
 /// The engine drives each station through a strict slot-synchronous cycle:
@@ -173,6 +237,95 @@ pub trait Station {
     /// phase structure) leaves the slot unattributed.
     fn phase_hint(&self) -> Option<PhaseHint> {
         None
+    }
+
+    /// Contention fast-forward hint: how this station relates to the next
+    /// stretch of contended (tree-search) decision slots.
+    ///
+    /// Queried by the engine after deliveries, before polling, when
+    /// contention fast-forward is enabled. The engine runs a contention
+    /// fast-forward only when at least one live station answers
+    /// [`SearchHint::Engage`] and at least one answers
+    /// [`SearchHint::Quiet`]; engaged (and contending) stations are then
+    /// polled and observed slot by slot exactly as the reference stepper
+    /// would, while the quiet stations are caught up once at the end via
+    /// [`Station::skip_search`]. The run stops before any pending arrival,
+    /// at the next scheduled fault ordinal or restart, at the run limit,
+    /// and as soon as every engaged station's backlog drains. The default
+    /// `Contend` is correct for every implementation.
+    fn search_hint(&self, _now: Ticks) -> SearchHint {
+        SearchHint::Contend
+    }
+
+    /// An opaque protocol-specific synchronization checkpoint published at
+    /// the end of a contention fast-forward run.
+    ///
+    /// The engine asks the engaged stations (in attachment order) for a
+    /// checkpoint and hands the first `Some` to every quiet station's
+    /// [`Station::skip_search`], which may downcast it to resynchronize in
+    /// better than O(run length). A replicated protocol should answer only
+    /// while synced — the checkpoint must describe shared state every
+    /// synced replica agrees on. The default `None` keeps quiet stations on
+    /// the exact replay path.
+    fn search_checkpoint(&self) -> Option<Box<dyn std::any::Any>> {
+        None
+    }
+
+    /// Absorbs a fast-forwarded run of contended decision slots: `records`
+    /// lists each resolved slot in channel order, the first starting at
+    /// `from`; `slot` is the medium's slot width in ticks; `checkpoint` is
+    /// the engaged stations' synchronization checkpoint, if any (see
+    /// [`Station::search_checkpoint`]).
+    ///
+    /// Called by the engine instead of per-slot [`Station::observe`] on
+    /// every quiet station when a contention run is skipped (see
+    /// [`Station::search_hint`]). Must be behaviourally identical to
+    /// observing the recorded outcomes one by one. The default replays
+    /// them — correct for every implementation; checkpoint-based overrides
+    /// are an optimisation.
+    fn skip_search(
+        &mut self,
+        from: Ticks,
+        records: &[SearchSlotRecord],
+        _checkpoint: Option<&dyn std::any::Any>,
+        _slot: Ticks,
+    ) {
+        let _ = from;
+        for record in records {
+            self.observe(record.at, record.next_free, &record.observation);
+        }
+    }
+
+    /// Analytic contention fast-forward hint: whether the next stretch of
+    /// decision slots is a run of deterministic loaded idle cycles this
+    /// station can promise its exact behaviour through (see
+    /// [`AttemptCycleHint`]).
+    ///
+    /// Queried by the engine after deliveries, before polling, when
+    /// contention fast-forward is enabled and the medium destroys
+    /// collisions. A bulk run starts only when **every** live station
+    /// answers `Some` with the same cycle shape and at least two are
+    /// contenders; the run covers the minimum promised cycle count, cut
+    /// at whole-cycle boundaries by the next pending arrival, the fault
+    /// fence, and the run limit. Stations are then caught up once through
+    /// [`Station::skip_attempt_cycles`] instead of `probes + 1` polls and
+    /// observes per cycle. The default `None` (for protocols without this
+    /// cycle structure) refuses bulk runs and is always correct.
+    fn attempt_cycle_hint(&self, _now: Ticks, _slot: Ticks) -> Option<AttemptCycleHint> {
+        None
+    }
+
+    /// Absorbs a bulk run of `cycles` loaded idle cycles starting at
+    /// `from`, each `probes` silent probe slots followed by one
+    /// destructively collided attempt slot of width `slot`.
+    ///
+    /// Called on every live station after a run promised through
+    /// [`Station::attempt_cycle_hint`]; must leave the station bitwise
+    /// identical to observing those `cycles · (probes + 1)` outcomes one
+    /// by one. Never invoked on a station whose hint was `None`, so the
+    /// default no-op is unreachable in practice.
+    fn skip_attempt_cycles(&mut self, from: Ticks, cycles: u64, probes: u64, slot: Ticks) {
+        let _ = (from, cycles, probes, slot);
     }
 }
 

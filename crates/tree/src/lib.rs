@@ -28,7 +28,11 @@
 //! witness construction ([`witness::worst_case_witness`], DP traceback,
 //! achieving `ξ` on trees far beyond exhaustive reach), and the exact
 //! average-case analysis ([`average::ExpectedSearchTable`], hypergeometric
-//! recursion) behind the §3.1 channel-efficiency claims.
+//! recursion) behind the §3.1 channel-efficiency claims. The [`visit`]
+//! module synthesizes the **pre-split** visit sequence of a *live* protocol
+//! search (the root collision is paid on the channel, never probed), the
+//! per-slot schedule the simulator's contention fast-forward is checked
+//! against.
 //!
 //! ## Quickstart
 //!
@@ -60,10 +64,12 @@ mod geometry;
 pub mod multi;
 pub mod optimal;
 pub mod search;
+pub mod visit;
 pub mod witness;
 
 pub use cache::TableCache;
 pub use error::TreeError;
+pub use visit::VisitCache;
 pub use exact::SearchTimeTable;
 pub use geometry::{ceil_log, ceil_log_ratio, checked_pow, floor_log, floor_log_ratio, TreeShape};
 

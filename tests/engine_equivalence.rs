@@ -1,12 +1,13 @@
-//! Fast-forward equivalence: the optimized engine (idle fast-forward and
-//! busy-period fast-forward on, the defaults) and the retained reference
+//! Fast-forward equivalence: the optimized engine (idle, busy-period, and
+//! contention fast-forward on, the defaults) and the retained reference
 //! stepper ([`Engine::set_fast_forward`]`(false)` +
-//! [`Engine::set_busy_fast_forward`]`(false)`) must be bitwise
+//! [`Engine::set_busy_fast_forward`]`(false)` +
+//! [`Engine::set_contention_fast_forward`]`(false)`) must be bitwise
 //! indistinguishable — identical channel traces, statistics, delivery
 //! schedules, final clocks, and timeout outcomes — across every protocol,
-//! random workload, collision mode, and fault plan. The two switches are
-//! also exercised independently so a regression in either path bisects
-//! cleanly.
+//! random workload, collision mode, and fault plan. The three switches are
+//! exercised across the full 2³ power set so a regression in any path (or
+//! any interaction between paths) bisects cleanly.
 
 use ddcr_baseline::{CsmaCdStation, DcrStation, NpEdfOracle, QueueDiscipline};
 use ddcr_core::{BurstConfig, DdcrConfig, DdcrStation, StaticAllocation};
@@ -24,18 +25,28 @@ enum Proto {
     NpEdf,
 }
 
-/// (idle fast-forward, busy fast-forward) switch settings. The reference
-/// stepper is `(false, false)`; the production default is `(true, true)`;
-/// the mixed pairs isolate each optimisation for bisection.
-type Steppers = (bool, bool);
+/// (idle fast-forward, busy fast-forward, contention fast-forward) switch
+/// settings. The reference stepper is `(false, false, false)`; the
+/// production default is `(true, true, true)`; the remaining combinations
+/// isolate each optimisation and each pairwise interaction for bisection.
+type Steppers = (bool, bool, bool);
 
-const REFERENCE: Steppers = (false, false);
-const OPTIMIZED: [Steppers; 3] = [(true, true), (true, false), (false, true)];
+const REFERENCE: Steppers = (false, false, false);
+const OPTIMIZED: [Steppers; 7] = [
+    (true, true, true),
+    (true, true, false),
+    (true, false, true),
+    (false, true, true),
+    (true, false, false),
+    (false, true, false),
+    (false, false, true),
+];
 
 fn build_engine(proto: Proto, z: u32, medium: MediumConfig, steppers: Steppers) -> Engine {
     let mut engine = Engine::new(medium).unwrap();
     engine.set_fast_forward(steppers.0);
     engine.set_busy_fast_forward(steppers.1);
+    engine.set_contention_fast_forward(steppers.2);
     engine.set_trace(Trace::enabled());
     match proto {
         Proto::Ddcr { theta, bursting } => {
@@ -325,15 +336,15 @@ proptest! {
         let generated = FaultPlan::generate(seed, z, 50_000, &FaultRates::default());
         prop_assert!(generated.is_empty(), "zero rates must generate no events");
 
-        let plain = run_once(proto, z, medium, &arrivals, true, (true, true));
+        let plain = run_once(proto, z, medium, &arrivals, true, (true, true, true));
         let empty_fast = run_with_plan(
-            proto, z, medium, &arrivals, true, (true, true), Some(FaultPlan::none()),
+            proto, z, medium, &arrivals, true, (true, true, true), Some(FaultPlan::none()),
         );
         let empty_reference = run_with_plan(
             proto, z, medium, &arrivals, true, REFERENCE, Some(FaultPlan::none()),
         );
         let generated_fast = run_with_plan(
-            proto, z, medium, &arrivals, true, (true, true), Some(generated),
+            proto, z, medium, &arrivals, true, (true, true, true), Some(generated),
         );
         prop_assert_eq!(&plain, &empty_fast);
         prop_assert_eq!(&plain, &empty_reference);
@@ -362,7 +373,7 @@ fn idle_heavy_32_station_network_is_bitwise_equivalent() {
             theta,
             bursting: false,
         };
-        let fast = run_once(proto, 32, medium, &arrivals, false, (true, true));
+        let fast = run_once(proto, 32, medium, &arrivals, false, (true, true, true));
         let reference = run_once(proto, 32, medium, &arrivals, false, REFERENCE);
         assert_eq!(fast, reference, "theta={theta}");
         // The run really was idle-dominated — the fast path had work to do.
@@ -400,7 +411,7 @@ fn loaded_32_station_burst_network_is_bitwise_equivalent() {
 
     // Busy-skip really fired: rerun the default configuration with metrics
     // on and check the telemetry counters.
-    let mut engine = build_engine(proto, 32, medium, (true, true));
+    let mut engine = build_engine(proto, 32, medium, (true, true, true));
     engine.enable_metrics();
     engine.add_arrivals(arrivals.iter().copied()).unwrap();
     engine.run_to_completion(Ticks(60_000_000)).unwrap();
@@ -410,4 +421,119 @@ fn loaded_32_station_burst_network_is_bitwise_equivalent() {
         "busy fast-forward never engaged on a loaded burst workload"
     );
     assert!(metrics.busy_skipped_slots >= metrics.busy_skip_runs);
+}
+
+/// Contention-heavy deterministic spot check: a few sources launch
+/// same-class clusters into a 32-station network, so whole tree searches
+/// (TTs leaf collisions, nested STs) run while 29 stations sit quiet — the
+/// exact shape the contention fast-forward tier exists for. Every stepper
+/// configuration must agree bitwise, and the search-skip telemetry must
+/// show the tier genuinely engaged.
+#[test]
+fn contention_heavy_32_station_network_is_bitwise_equivalent() {
+    let medium = MediumConfig::ethernet();
+    // Three sources, clustered same-deadline arrivals: every cluster forces
+    // a time-tree leaf collision and a static-tree tie-break.
+    let arrivals: Vec<Message> = (0..24u64)
+        .map(|i| Message {
+            id: MessageId(i),
+            source: SourceId((i % 3) as u32),
+            class: ClassId(0),
+            bits: 4_000,
+            arrival: Ticks((i / 3) * 600_000),
+            deadline: Ticks(8_000_000),
+        })
+        .collect();
+    for arbitrating in [false, true] {
+        let mut medium = medium;
+        medium.collision_mode = if arbitrating {
+            CollisionMode::Arbitrating
+        } else {
+            CollisionMode::Destructive
+        };
+        let proto = Proto::Ddcr {
+            theta: 0,
+            bursting: false,
+        };
+        let reference = run_once(proto, 32, medium, &arrivals, true, REFERENCE);
+        assert_eq!(reference.stats.deliveries.len(), 24);
+        for steppers in OPTIMIZED {
+            let fast = run_once(proto, 32, medium, &arrivals, true, steppers);
+            assert_eq!(fast, reference, "arbitrating={arbitrating} steppers={steppers:?}");
+        }
+
+        // The contention tier really fired, and it did the bulk of the
+        // contended slots: rerun the default configuration with metrics on.
+        let mut engine = build_engine(proto, 32, medium, (true, true, true));
+        engine.enable_metrics();
+        engine.add_arrivals(arrivals.iter().copied()).unwrap();
+        engine.run_to_completion(Ticks(60_000_000)).unwrap();
+        let metrics = engine.metrics().expect("metrics enabled");
+        assert!(
+            metrics.search_skip_runs > 0,
+            "contention fast-forward never engaged (arbitrating={arbitrating})"
+        );
+        assert!(metrics.search_skipped_slots >= metrics.search_skip_runs);
+    }
+}
+
+/// Saturated deterministic spot check — the *loaded idle cycle* regime the
+/// analytic attempt-cycle path exists for: all 32 stations backlogged with
+/// far deadlines, so every one sits the time tree search out and collides
+/// at the attempt slot, cycle after cycle, until `reft` catches up with
+/// the heads' deadline classes. Every stepper configuration must agree
+/// bitwise, the run must actually be collision-dominated, and the
+/// search-skip telemetry must show the analytic path resolved the bulk of
+/// those slots in one step.
+#[test]
+fn saturated_32_station_attempt_cycles_are_bitwise_equivalent() {
+    let medium = MediumConfig::ethernet();
+    // Two far-deadline messages per station, all present from t = 0: the
+    // whole network contends at every attempt slot, nobody enters the
+    // tree until thousands of collided cycles advance `reft`.
+    let arrivals: Vec<Message> = (0..64u64)
+        .map(|i| Message {
+            id: MessageId(i),
+            source: SourceId((i % 32) as u32),
+            class: ClassId(0),
+            bits: 1_000,
+            arrival: Ticks::ZERO,
+            deadline: Ticks(30_000_000 + (i / 32) * 4_000_000),
+        })
+        .collect();
+    let proto = Proto::Ddcr {
+        theta: 0,
+        bursting: false,
+    };
+    let reference = run_once(proto, 32, medium, &arrivals, true, REFERENCE);
+    assert_eq!(reference.stats.deliveries.len(), 64);
+    // The regime is real: collided attempt cycles dominate the run.
+    assert!(
+        reference.stats.collisions > 1_000,
+        "expected a collision-dominated run, got {}",
+        reference.stats.collisions
+    );
+    for steppers in OPTIMIZED {
+        let fast = run_once(proto, 32, medium, &arrivals, true, steppers);
+        assert_eq!(fast, reference, "steppers={steppers:?}");
+    }
+
+    // The analytic path really carried the load: rerun the default
+    // configuration with metrics on and check that the overwhelming
+    // majority of decision slots were resolved through the contention
+    // tier's bulk skip rather than stepped.
+    let mut engine = build_engine(proto, 32, medium, (true, true, true));
+    engine.enable_metrics();
+    engine.add_arrivals(arrivals.iter().copied()).unwrap();
+    engine.run_to_completion(Ticks(60_000_000)).unwrap();
+    let metrics = engine.metrics().expect("metrics enabled");
+    let total_slots = reference.stats.silence_slots
+        + reference.stats.collisions
+        + reference.stats.deliveries.len() as u64;
+    assert!(
+        metrics.search_skipped_slots > total_slots / 2,
+        "analytic attempt-cycle path resolved {} of {} slots",
+        metrics.search_skipped_slots,
+        total_slots
+    );
 }
