@@ -10,8 +10,10 @@
 //! speedup below the 2x floor, loaded speedup below the 5x floor at load
 //! 0.5 or 0.8 on >= 32 stations, a contention fast-forward section that
 //! diverged or whose tier never engaged, divergent fast/reference
-//! statistics, incomplete drains). `scripts/bench_check` wraps this binary
-//! for CI.
+//! statistics, incomplete drains, a multichannel section that diverged
+//! across worker counts, missed deadlines, lost its pinned capacity win,
+//! or — on hosts with >= 4 cores — scaled below the 2x floor).
+//! `scripts/bench_check` wraps this binary for CI.
 
 use ddcr_bench::enginebench::{check_report, REPORT_PATH};
 use ddcr_bench::json::Json;
@@ -67,10 +69,20 @@ fn main() {
             .and_then(|c| c.get("speedup"))
             .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
+        let multichannel = doc.get("multichannel");
+        let multichannel_speedup = multichannel
+            .and_then(|m| m.get("speedup"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let host = multichannel
+            .and_then(|m| m.get("host_parallelism"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
         println!(
             "bench_check: PASS ({path}; idle fast-forward {idle_speedup:.1}x, \
              loaded fast-forward {loaded_speedup:.1}x @0.5 / {high_load_speedup:.1}x @0.8, \
-             contention tier {contention_speedup:.1}x)"
+             contention tier {contention_speedup:.1}x, \
+             multichannel {multichannel_speedup:.1}x on {host:.0} cores)"
         );
     } else {
         for violation in &violations {

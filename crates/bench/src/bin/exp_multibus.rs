@@ -5,13 +5,28 @@
 //! busses: for the videoconference scenario, the largest participant count
 //! whose projected per-bus message sets all pass the feasibility
 //! conditions, for 1–4 busses, plus a peak-load simulation at each
-//! frontier. Writes `results/exp_multibus.csv`.
+//! frontier. The provability grid (busses × participant counts) fans out
+//! over the deterministic sweep runner and each frontier validation runs
+//! its channels on the multichannel engine pool, so `--jobs N` changes
+//! only wall-clock, never the CSV. Writes `results/exp_multibus.csv`.
 
 use ddcr_bench::report::Csv;
 use ddcr_bench::results_dir;
+use ddcr_bench::sweep::{self, SweepConfig};
 use ddcr_core::{multibus, network, DdcrConfig, StaticAllocation};
-use ddcr_sim::{ChannelStats, MediumConfig, Ticks};
+use ddcr_sim::{MediumConfig, Ticks};
 use ddcr_traffic::{scenario, ScheduleBuilder};
+
+const BUS_COUNTS: usize = 4;
+const Z_STEPS: &[u32] = &{
+    let mut steps = [0u32; 48];
+    let mut i = 0;
+    while i < 48 {
+        steps[i] = 2 + 2 * i as u32;
+        i += 1;
+    }
+    steps
+};
 
 fn provable(z: u32, buses: usize, medium: &MediumConfig) -> bool {
     let Ok(set) = scenario::videoconference(z) else {
@@ -33,6 +48,7 @@ fn provable(z: u32, buses: usize, medium: &MediumConfig) -> bool {
 
 fn main() {
     let medium = MediumConfig::gigabit_ethernet();
+    let config = SweepConfig::resolve(sweep::jobs_flag_from_args(), 42);
     let mut csv = Csv::create(
         &results_dir().join("exp_multibus.csv"),
         &["buses", "max_provable_participants", "validated_misses", "validated_delivered"],
@@ -45,42 +61,57 @@ fn main() {
         "buses", "max provable participants", "sim misses", "delivered"
     );
 
+    // Phase 1: the whole (busses × z) provability grid in parallel. Each
+    // cell is a pure function of its coordinates, so the grid is trivially
+    // worker-count invariant.
+    let grid = sweep::run_indexed(config, BUS_COUNTS * Z_STEPS.len(), |ctx| {
+        let buses = ctx.index / Z_STEPS.len() + 1;
+        let z = Z_STEPS[ctx.index % Z_STEPS.len()];
+        provable(z, buses, &medium)
+    });
+
     let mut frontier = Vec::new();
-    for buses in 1..=4usize {
-        // Walk z upward until the FCs reject.
+    for buses in 1..=BUS_COUNTS {
+        // Walk z upward until the FCs reject (same contiguous-prefix rule
+        // as the original serial walk).
         let mut best = 0u32;
-        for z in (2..=96u32).step_by(2) {
-            if provable(z, buses, &medium) {
-                best = z;
+        for (step, z) in Z_STEPS.iter().enumerate() {
+            let index = (buses - 1) * Z_STEPS.len() + step;
+            if grid.outcomes[index].value {
+                best = *z;
             } else if best > 0 {
                 break;
             }
         }
         assert!(best > 0, "no provable size on {buses} busses");
 
-        // Validate the frontier point in simulation.
+        // Phase 2: validate the frontier point in simulation, channels
+        // fanned over the engine pool.
         let set = scenario::videoconference(best).expect("scenario");
         let c = network::recommended_class_width(&set, 64, &medium);
-        let config = DdcrConfig::for_sources(best, c).expect("config");
+        let ddcr_config = DdcrConfig::for_sources(best, c).expect("config");
         let allocation =
-            StaticAllocation::round_robin(config.static_tree, best).expect("allocation");
+            StaticAllocation::round_robin(ddcr_config.static_tree, best).expect("allocation");
         let assignment = multibus::balance_by_load(&set, buses);
         let schedule = ScheduleBuilder::peak_load(&set)
             .build(Ticks(8_000_000))
             .expect("schedule");
         let n = schedule.len();
-        let stats = multibus::run(
+        let mut options = multibus::RunOptions::new(Ticks(400_000_000_000));
+        options.workers = config.workers;
+        let report = multibus::run_channels(
             &set,
             schedule,
             &assignment,
-            &config,
+            &ddcr_config,
             &allocation,
             medium,
-            Ticks(400_000_000_000),
+            &options,
         )
         .expect("run");
-        let delivered: usize = stats.iter().map(|s| s.deliveries.len()).sum();
-        let misses: usize = stats.iter().map(ChannelStats::deadline_misses).sum();
+        assert!(report.completed(), "frontier point timed out on {buses} busses");
+        let delivered = report.delivered();
+        let misses = report.deadline_misses();
         assert_eq!(delivered, n);
         assert_eq!(misses, 0, "frontier point missed on {buses} busses");
 
@@ -111,6 +142,7 @@ fn main() {
         quad as f64 / single as f64
     );
     assert!(quad > single, "parallel media must add provable capacity");
+    println!("{}", grid.perf_line());
     println!("§3.1 parallel-media claim (capacity composes across busses): REPRODUCED");
     println!("wrote results/exp_multibus.csv");
 }

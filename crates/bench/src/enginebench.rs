@@ -45,7 +45,11 @@ use std::time::Instant;
 ///
 /// Version 3 added the `contention_fast_forward` section and promoted the
 /// loaded `(≥ 32, 0.8)` grid point from informational to gated.
-pub const SCHEMA_VERSION: u64 = 3;
+/// Version 4 added the `multichannel` section: parallel-channel wall-clock
+/// scaling (gated on hosts with ≥ 4 cores), worker-count equivalence, and
+/// the pinned §3.1 capacity win (z=32 infeasible at C=1, provable and
+/// deadline-miss-free at C=4).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Default report location (relative to the workspace root, like
 /// `results/`).
@@ -61,6 +65,19 @@ pub const MIN_IDLE_SPEEDUP: f64 = 2.0;
 /// stepper on the loaded (≥ 32 stations) bursting scenario, at load 0.5
 /// and at load 0.8.
 pub const MIN_LOADED_SPEEDUP: f64 = 5.0;
+
+/// Gate threshold: running a saturated 4-channel workload on the
+/// multichannel worker pool must clear at least this wall-clock multiple
+/// over serial channel execution. Only enforced when the measuring host
+/// reports at least [`MIN_GATED_PARALLELISM`] cores — a 4-way speedup
+/// cannot exist on a 1-core box, and the report records the host width so
+/// the checker can tell the cases apart. Equivalence, completion, and the
+/// capacity booleans are enforced on every host.
+pub const MIN_MULTICHANNEL_SPEEDUP: f64 = 2.0;
+
+/// Host parallelism below which the multichannel wall-clock gate is
+/// informational instead of enforced.
+pub const MIN_GATED_PARALLELISM: u64 = 4;
 
 /// How much work the suite does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +176,16 @@ impl Profile {
         match self {
             Profile::Smoke => 20_000,
             Profile::Full => 200_000,
+        }
+    }
+
+    /// Arrival horizon for the multichannel scaling workload, in ticks.
+    /// Long enough that per-channel simulation dominates worker-pool
+    /// setup, so the serial/parallel ratio measures real scaling.
+    fn multichannel_horizon(self) -> Ticks {
+        match self {
+            Profile::Smoke => Ticks(24_000_000),
+            Profile::Full => Ticks(96_000_000),
         }
     }
 }
@@ -290,6 +317,51 @@ pub struct DrainResult {
     pub completed: bool,
 }
 
+/// Result of the multichannel scaling measurement: a saturated
+/// 4-channel videoconference fabric run serially (1 worker) and on the
+/// full worker pool, plus the §3.1 capacity facts the gate pins.
+#[derive(Debug, Clone)]
+pub struct MultichannelResult {
+    /// Parallel channels in the fabric.
+    pub channels: usize,
+    /// Videoconference participants (message sources).
+    pub participants: u32,
+    /// Messages scheduled across all channels.
+    pub messages: u64,
+    /// Workers used for the parallel run.
+    pub workers: usize,
+    /// `available_parallelism()` of the measuring host — the checker
+    /// enforces the speedup gate only when this is ≥
+    /// [`MIN_GATED_PARALLELISM`].
+    pub host_parallelism: usize,
+    /// Serial (1-worker) wall time (min over repeats), nanoseconds.
+    pub serial_wall_ns: u64,
+    /// Pooled wall time (min over repeats), nanoseconds.
+    pub parallel_wall_ns: u64,
+    /// Whether serial and pooled runs produced identical per-channel
+    /// statistics.
+    pub equivalent: bool,
+    /// Whether every channel drained inside the budget (both runs).
+    pub completed: bool,
+    /// Deadline misses across all channels (must be 0: the fabric is
+    /// provably feasible).
+    pub misses: u64,
+    /// Whether the same workload passes the feasibility conditions on a
+    /// single channel (must be `false` — the capacity win is vacuous
+    /// otherwise).
+    pub single_channel_feasible: bool,
+    /// Whether every channel of the split fabric passes the feasibility
+    /// conditions (must be `true`).
+    pub multi_channel_feasible: bool,
+}
+
+impl MultichannelResult {
+    /// Serial-over-parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_wall_ns as f64 / self.parallel_wall_ns.max(1) as f64
+    }
+}
+
 /// Result of the EDF queue measurement.
 #[derive(Debug, Clone)]
 pub struct QueueResult {
@@ -312,6 +384,8 @@ pub struct BenchReport {
     pub contention: ContentionResult,
     /// Protocol drain grid.
     pub drains: Vec<DrainResult>,
+    /// Multichannel scaling and capacity measurement.
+    pub multichannel: MultichannelResult,
     /// EDF queue throughput.
     pub queue: QueueResult,
 }
@@ -618,6 +692,81 @@ pub fn measure_drains(profile: Profile) -> Vec<DrainResult> {
     out
 }
 
+/// Measures multichannel scaling on the saturated 4-channel workload from
+/// experiment E15: a 32-participant videoconference on gigabit Ethernet —
+/// infeasible on one channel, provably feasible split over four. The same
+/// channels run serially (1 worker) and on the full pool; the report
+/// carries both wall times, the worker-count-equivalence verdict, and the
+/// capacity booleans the gate pins.
+pub fn measure_multichannel(profile: Profile) -> MultichannelResult {
+    use ddcr_core::multibus;
+
+    const CHANNELS: usize = 4;
+    const PARTICIPANTS: u32 = 32;
+    let medium = MediumConfig::gigabit_ethernet();
+    let set = scenario::videoconference(PARTICIPANTS).expect("scenario is valid");
+    let config = default_ddcr_config(&set, &medium);
+    let allocation = StaticAllocation::round_robin(config.static_tree, PARTICIPANTS)
+        .expect("allocation covers all sources");
+
+    let single = multibus::balance_by_load(&set, 1);
+    let split = multibus::balance_by_load(&set, CHANNELS);
+    let feasible = |assignment: &multibus::ChannelAssignment| {
+        multibus::evaluate(&set, assignment, &config, &allocation, &medium)
+            .expect("feasibility evaluates")
+            .iter()
+            .all(|r| r.feasible())
+    };
+    let single_channel_feasible = feasible(&single);
+    let multi_channel_feasible = feasible(&split);
+
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(profile.multichannel_horizon())
+        .expect("schedule generation");
+    let messages = schedule.len() as u64;
+    let budget = Ticks(4_000_000_000_000);
+    let run = |workers: usize| {
+        let mut options = multibus::RunOptions::new(budget);
+        options.workers = workers;
+        min_wall(profile.repeats(), || {
+            multibus::run_channels(
+                &set,
+                schedule.clone(),
+                &split,
+                &config,
+                &allocation,
+                medium,
+                &options,
+            )
+            .expect("multichannel run assembles")
+        })
+    };
+    let (serial, serial_wall_ns) = run(1);
+    let (parallel, parallel_wall_ns) = run(CHANNELS);
+
+    let equivalent = serial.channels.len() == parallel.channels.len()
+        && serial
+            .channels
+            .iter()
+            .zip(&parallel.channels)
+            .all(|(a, b)| a.stats == b.stats);
+    MultichannelResult {
+        channels: CHANNELS,
+        participants: PARTICIPANTS,
+        messages,
+        workers: CHANNELS,
+        host_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        serial_wall_ns,
+        parallel_wall_ns,
+        equivalent,
+        completed: serial.completed() && parallel.completed(),
+        misses: parallel.deadline_misses() as u64,
+        single_channel_feasible,
+        multi_channel_feasible,
+    }
+}
+
 /// Measures `EdfQueue` push/pop throughput: interleaved inserts (worst-case
 /// mid-queue positions) followed by a full drain.
 pub fn measure_queue(profile: Profile) -> QueueResult {
@@ -660,6 +809,7 @@ pub fn run_suite(profile: Profile) -> BenchReport {
         loaded: measure_loaded(profile),
         contention: measure_contention(profile),
         drains: measure_drains(profile),
+        multichannel: measure_multichannel(profile),
         queue: measure_queue(profile),
     }
 }
@@ -788,6 +938,45 @@ impl BenchReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "multichannel",
+                Json::object([
+                    (
+                        "channels",
+                        Json::from(self.multichannel.channels as u64),
+                    ),
+                    (
+                        "participants",
+                        Json::from(u64::from(self.multichannel.participants)),
+                    ),
+                    ("messages", Json::from(self.multichannel.messages)),
+                    ("workers", Json::from(self.multichannel.workers as u64)),
+                    (
+                        "host_parallelism",
+                        Json::from(self.multichannel.host_parallelism as u64),
+                    ),
+                    (
+                        "serial_wall_ns",
+                        Json::from(self.multichannel.serial_wall_ns),
+                    ),
+                    (
+                        "parallel_wall_ns",
+                        Json::from(self.multichannel.parallel_wall_ns),
+                    ),
+                    ("speedup", Json::from(self.multichannel.speedup())),
+                    ("equivalent", Json::from(self.multichannel.equivalent)),
+                    ("completed", Json::from(self.multichannel.completed)),
+                    ("misses", Json::from(self.multichannel.misses)),
+                    (
+                        "single_channel_feasible",
+                        Json::from(self.multichannel.single_channel_feasible),
+                    ),
+                    (
+                        "multi_channel_feasible",
+                        Json::from(self.multichannel.multi_channel_feasible),
+                    ),
+                ]),
             ),
             (
                 "edf_queue",
@@ -963,6 +1152,65 @@ pub fn check_report(doc: &Json) -> Vec<String> {
         }
     }
 
+    match doc.get("multichannel") {
+        None => fail("missing multichannel".into()),
+        Some(section) => {
+            match section.get("channels").and_then(Json::as_f64) {
+                Some(c) if c >= 4.0 => {}
+                other => fail(format!(
+                    "multichannel.channels must be >= 4, got {other:?}"
+                )),
+            }
+            if section.get("equivalent").and_then(Json::as_bool) != Some(true) {
+                fail("multichannel.equivalent must be true (results depend on worker count)"
+                    .into());
+            }
+            if section.get("completed").and_then(Json::as_bool) != Some(true) {
+                fail("multichannel did not complete".into());
+            }
+            match section.get("misses").and_then(Json::as_f64) {
+                Some(0.0) => {}
+                other => fail(format!(
+                    "multichannel.misses must be 0 (the fabric is provably feasible), \
+                     got {other:?}"
+                )),
+            }
+            // The capacity win: the workload must be infeasible on one
+            // channel and provable on the split fabric, else the section
+            // demonstrates nothing.
+            if section.get("single_channel_feasible").and_then(Json::as_bool) != Some(false) {
+                fail("multichannel.single_channel_feasible must be false \
+                      (capacity win is vacuous otherwise)"
+                    .into());
+            }
+            if section.get("multi_channel_feasible").and_then(Json::as_bool) != Some(true) {
+                fail("multichannel.multi_channel_feasible must be true".into());
+            }
+            for key in ["serial_wall_ns", "parallel_wall_ns", "host_parallelism"] {
+                match section.get(key).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    other => fail(format!("multichannel.{key} must be > 0, got {other:?}")),
+                }
+            }
+            // Wall-clock scaling is only physically possible on a host
+            // with enough cores; below that the speedup is informational.
+            let host = section
+                .get("host_parallelism")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if host >= MIN_GATED_PARALLELISM as f64 {
+                match section.get("speedup").and_then(Json::as_f64) {
+                    Some(s) if s >= MIN_MULTICHANNEL_SPEEDUP => {}
+                    Some(s) => fail(format!(
+                        "multichannel.speedup {s:.2} below gate {MIN_MULTICHANNEL_SPEEDUP} \
+                         on a {host}-core host"
+                    )),
+                    None => fail("missing multichannel.speedup".into()),
+                }
+            }
+        }
+    }
+
     match doc.get("edf_queue").and_then(|q| q.get("ops_per_sec")).and_then(Json::as_f64) {
         Some(v) if v > 0.0 => {}
         other => fail(format!("edf_queue.ops_per_sec must be > 0, got {other:?}")),
@@ -1032,6 +1280,20 @@ mod tests {
                 delivered: 10,
                 completed: true,
             }],
+            multichannel: MultichannelResult {
+                channels: 4,
+                participants: 32,
+                messages: 2_400,
+                workers: 4,
+                host_parallelism: 8,
+                serial_wall_ns: 40_000,
+                parallel_wall_ns: 12_000,
+                equivalent: true,
+                completed: true,
+                misses: 0,
+                single_channel_feasible: false,
+                multi_channel_feasible: true,
+            },
             queue: QueueResult {
                 operations: 40_000,
                 wall_ns: 2_000_000,
@@ -1076,7 +1338,7 @@ mod tests {
 
     #[test]
     fn missing_sections_are_reported() {
-        let doc = Json::parse(r#"{"schema_version": 3}"#).unwrap();
+        let doc = Json::parse(r#"{"schema_version": 4}"#).unwrap();
         let violations = check_report(&doc);
         for needle in [
             "profile",
@@ -1084,6 +1346,7 @@ mod tests {
             "loaded_fast_forward",
             "contention_fast_forward",
             "protocol_drain",
+            "multichannel",
             "edf_queue",
         ] {
             assert!(
@@ -1224,6 +1487,66 @@ mod tests {
         assert!(check_report(&doc)
             .iter()
             .any(|v| v.contains("did not complete")));
+    }
+
+    fn edit_multichannel(doc: &mut Json, key: &str, value: Json) {
+        if let Json::Object(map) = doc {
+            if let Some(Json::Object(section)) = map.get_mut("multichannel") {
+                section.insert(key.into(), value);
+            }
+        }
+    }
+
+    #[test]
+    fn slow_multichannel_scaling_fails_gate_on_wide_hosts() {
+        let mut doc = passing_report();
+        edit_multichannel(&mut doc, "speedup", Json::Number(1.3));
+        let violations = check_report(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("multichannel.speedup") && v.contains("below gate")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn narrow_host_skips_speedup_gate_but_not_correctness() {
+        // A 1-core box cannot show a 4-way speedup; the wall-clock gate is
+        // waived there — but equivalence and the capacity facts never are.
+        let mut doc = passing_report();
+        edit_multichannel(&mut doc, "host_parallelism", Json::Number(1.0));
+        edit_multichannel(&mut doc, "speedup", Json::Number(0.9));
+        assert_eq!(check_report(&doc), Vec::<String>::new());
+        edit_multichannel(&mut doc, "equivalent", Json::Bool(false));
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("multichannel.equivalent")));
+    }
+
+    #[test]
+    fn vacuous_capacity_claim_fails_gate() {
+        // If the workload were already provable on one channel, the
+        // section would prove nothing — the gate pins the frontier.
+        let mut doc = passing_report();
+        edit_multichannel(&mut doc, "single_channel_feasible", Json::Bool(true));
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("single_channel_feasible")));
+        let mut doc = passing_report();
+        edit_multichannel(&mut doc, "multi_channel_feasible", Json::Bool(false));
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("multi_channel_feasible")));
+    }
+
+    #[test]
+    fn multichannel_misses_fail_gate() {
+        let mut doc = passing_report();
+        edit_multichannel(&mut doc, "misses", Json::Number(3.0));
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("multichannel.misses")));
     }
 
     #[test]

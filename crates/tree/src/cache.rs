@@ -28,6 +28,7 @@ use crate::average::ExpectedSearchTable;
 use crate::error::TreeError;
 use crate::exact::SearchTimeTable;
 use crate::geometry::TreeShape;
+use crate::multi::{ExactOptimum, MultiTreeProblem};
 
 /// Snapshot of cache traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +63,8 @@ thread_local! {
 pub struct TableCache {
     worst: RwLock<HashMap<TreeShape, Arc<SearchTimeTable>>>,
     expected: RwLock<HashMap<TreeShape, Arc<ExpectedSearchTable>>>,
+    multi_bounds: RwLock<HashMap<MultiTreeProblem, f64>>,
+    multi_exacts: RwLock<HashMap<MultiTreeProblem, Arc<ExactOptimum>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -123,10 +126,49 @@ impl TableCache {
         self.worst_case(shape)?.xi(k)
     }
 
-    /// Number of distinct shapes currently cached (both kinds).
+    /// Memoized P2 asymptotic bound `v·ξ̃_{u/v}^t`
+    /// ([`MultiTreeProblem::bound`]). The bound is a pure closed-form
+    /// function of the instance, so the cached value is bit-exact across
+    /// threads and lookups.
+    pub fn multi_bound(&self, problem: MultiTreeProblem) -> f64 {
+        if let Some(&bound) = self.multi_bounds.read().get(&problem) {
+            self.count(true);
+            return bound;
+        }
+        let computed = problem.bound();
+        self.count(false);
+        let mut map = self.multi_bounds.write();
+        *map.entry(problem).or_insert(computed)
+    }
+
+    /// Memoized P2 exact optimum ([`MultiTreeProblem::exact_optimum`]),
+    /// computed at most once per cache instance.
+    ///
+    /// The `O(v·u·t)` dynamic program itself pulls its `ξ_k^t` table
+    /// through the process-wide [`global`] cache, so a computing lookup on
+    /// a non-global instance still counts one global table lookup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeError`] from the first (computing) lookup.
+    pub fn multi_exact(&self, problem: MultiTreeProblem) -> Result<Arc<ExactOptimum>, TreeError> {
+        if let Some(optimum) = self.multi_exacts.read().get(&problem) {
+            self.count(true);
+            return Ok(Arc::clone(optimum));
+        }
+        let computed = Arc::new(problem.exact_optimum()?);
+        self.count(false);
+        let mut map = self.multi_exacts.write();
+        Ok(Arc::clone(map.entry(problem).or_insert(computed)))
+    }
+
+    /// Number of distinct entries currently cached (all kinds).
     #[must_use]
     pub fn entries(&self) -> usize {
-        self.worst.read().len() + self.expected.read().len()
+        self.worst.read().len()
+            + self.expected.read().len()
+            + self.multi_bounds.read().len()
+            + self.multi_exacts.read().len()
     }
 
     /// Global (all-thread) hit/miss counters for this cache instance.
@@ -219,6 +261,42 @@ mod tests {
         cache.worst_case(shape).unwrap();
         let delta = thread_stats().since(before);
         assert_eq!(delta, CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn multi_bounds_are_memoized_and_counted() {
+        let cache = TableCache::new();
+        let shape = TreeShape::new(2, 4).unwrap();
+        let problem = MultiTreeProblem::new(shape, 10, 3).unwrap();
+        let first = cache.multi_bound(problem);
+        let second = cache.multi_bound(problem);
+        assert_eq!(first.to_bits(), second.to_bits(), "cached bound must be bit-exact");
+        assert_eq!(first.to_bits(), problem.bound().to_bits());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn multi_exacts_are_shared_and_match_fresh_computation() {
+        let cache = TableCache::new();
+        let shape = TreeShape::new(2, 4).unwrap();
+        let problem = MultiTreeProblem::new(shape, 14, 3).unwrap();
+        let a = cache.multi_exact(problem).unwrap();
+        let b = cache.multi_exact(problem).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, problem.exact_optimum().unwrap());
+    }
+
+    #[test]
+    fn distinct_multi_problems_get_distinct_entries() {
+        let cache = TableCache::new();
+        let shape = TreeShape::new(2, 4).unwrap();
+        let a = MultiTreeProblem::new(shape, 10, 3).unwrap();
+        let b = MultiTreeProblem::new(shape, 12, 3).unwrap();
+        cache.multi_bound(a);
+        cache.multi_bound(b);
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

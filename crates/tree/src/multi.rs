@@ -57,6 +57,26 @@ impl MultiTreeProblem {
         self.v as f64 * xi_tilde(self.shape, self.u as f64 / self.v as f64)
     }
 
+    /// [`MultiTreeProblem::bound`] routed through the process-wide
+    /// memoized table cache ([`crate::cache::global`]): repeated lookups
+    /// of the same instance (feasibility sweeps evaluate thousands) cost a
+    /// map probe instead of the closed form, and cache hit/miss counters
+    /// make the traffic observable.
+    pub fn bound_cached(&self) -> f64 {
+        crate::cache::global().multi_bound(*self)
+    }
+
+    /// [`MultiTreeProblem::exact_optimum`] routed through the process-wide
+    /// memoized table cache — the `O(v·u·t)` dynamic program runs at most
+    /// once per instance per process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction errors from [`crate::exact`].
+    pub fn exact_optimum_cached(&self) -> Result<std::sync::Arc<ExactOptimum>, TreeError> {
+        crate::cache::global().multi_exact(*self)
+    }
+
     /// The equivalent single-big-tree form of the bound,
     /// `ξ̃_u^{tv} − (v−1)/(m−1)` — mathematically identical to
     /// [`MultiTreeProblem::bound`] (Eq. 18; the identity is property-tested).
@@ -208,6 +228,14 @@ mod tests {
         }
         let total: u64 = opt.parts.iter().map(|&k| table.xi(k).unwrap()).sum();
         assert_eq!(total, opt.total);
+    }
+
+    #[test]
+    fn cached_lookups_match_direct_computation() {
+        let p = problem(2, 4, 10, 3);
+        assert_eq!(p.bound_cached().to_bits(), p.bound().to_bits());
+        assert_eq!(p.bound_cached().to_bits(), p.bound().to_bits(), "hit path");
+        assert_eq!(*p.exact_optimum_cached().unwrap(), p.exact_optimum().unwrap());
     }
 
     #[test]
