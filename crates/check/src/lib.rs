@@ -40,8 +40,8 @@ mod checker;
 mod scope;
 
 pub use checker::{
-    adversarial_plan, check_scenario, check_scenario_with_faults, check_scope,
-    check_scope_with_faults, check_scope_with_mode, CheckReport, FaultCheckReport, Finding,
-    Violation,
+    adversarial_plan, check_scenario, check_scenario_with_faults, check_scenario_with_membership,
+    check_scope, check_scope_with_faults, check_scope_with_membership, check_scope_with_mode,
+    membership_plan, CheckReport, FaultCheckReport, Finding, MembershipCheckReport, Violation,
 };
 pub use scope::Scope;

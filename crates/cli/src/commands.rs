@@ -33,6 +33,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         Some("metrics") => cmd_metrics(args),
         Some("trace") => cmd_trace(args),
         Some("bench-engine") => cmd_bench_engine(args),
+        Some("serve") => cmd_serve(args),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -77,6 +78,9 @@ COMMANDS
                   byte-identical to `ddcr trace`; see docs/MULTICHANNEL.md)
   check        bounded exhaustive model check of the protocol
                  [--scope small|medium] [--mode destructive|arbitrating]
+                 [--membership true [--seed S]]  (interleave seeded
+                   leave/rejoin churn with adversarial faults and check no
+                   surviving flow misses its deadline)
   faults       deterministic fault injection (slot corruption, frame
                  erasure, station crashes)
                  --check small|medium [--mode destructive|arbitrating] [--seed S]
@@ -100,6 +104,13 @@ COMMANDS
                   to one fast path)
   bench-engine engine hot-path perf suite; writes the BENCH_engine.json gate
                  [--profile smoke|full] [--out PATH]  (see docs/PERF.md)
+  serve        long-running online admission control: JSONL requests on
+                 stdin (join/leave/flow/force-flow/status), one decision
+                 line each on stdout, B_DDCR as the admission predicate
+                 --sources Z [--class-width TICKS] [--join-nu N]
+                 [--channels C] [--medium ...]
+                 (replaying a session is byte-identical; exits non-zero on
+                  any safety violation; see docs/ADMISSION.md)
   help         this text
 "
     .to_owned()
@@ -159,6 +170,26 @@ fn cmd_witness(args: &Args) -> Result<String, ArgError> {
     Ok(format!(
         "{shape}, k = {k}: xi = {xi} slots\nworst-case active leaves: {leaves:?}\n"
     ))
+}
+
+fn cmd_serve(args: &Args) -> Result<String, String> {
+    args.allow_only(&["sources", "medium", "class-width", "join-nu", "channels"])
+        .map_err(|e| e.to_string())?;
+    let opts = crate::serve::Options {
+        sources: args.require_typed("sources").map_err(|e| e.to_string())?,
+        medium: medium_from(args)?,
+        class_width: Ticks(args.get_or("class-width", 100_000).map_err(|e| e.to_string())?),
+        join_nu: args.get_or("join-nu", 1).map_err(|e| e.to_string())?,
+        channels: args.get_or("channels", 1).map_err(|e| e.to_string())?,
+    };
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let safe = crate::serve::run_session(stdin.lock(), &mut stdout.lock(), &opts)?;
+    if safe {
+        Ok(String::new())
+    } else {
+        Err("serve session ended with a safety violation (see summary line)".to_owned())
+    }
 }
 
 fn medium_from(args: &Args) -> Result<MediumConfig, String> {
@@ -647,9 +678,13 @@ fn scope_from(name: &str) -> Result<ddcr_check::Scope, String> {
 }
 
 fn cmd_check(args: &Args) -> Result<String, String> {
-    args.allow_only(&["scope", "mode"]).map_err(|e| e.to_string())?;
+    args.allow_only(&["scope", "mode", "membership", "seed"])
+        .map_err(|e| e.to_string())?;
     let scope = scope_from(args.get("scope").unwrap_or("small"))?;
     let mode = mode_from(args)?;
+    if args.get_or("membership", false).map_err(|e| e.to_string())? {
+        return cmd_check_membership(&scope, args);
+    }
     let report = ddcr_check::check_scope_with_mode(&scope, 5_000, mode);
     let mut out = String::new();
     let _ = writeln!(
@@ -674,6 +709,48 @@ fn cmd_check(args: &Args) -> Result<String, String> {
         return Err(out);
     }
     Ok(out)
+}
+
+fn cmd_check_membership(scope: &ddcr_check::Scope, args: &Args) -> Result<String, String> {
+    let mode = mode_from(args)?;
+    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let report = ddcr_check::check_scope_with_membership(scope, 5_000, mode, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checked {} scenarios under seeded membership churn interleaved with \
+         adversarial faults (seed {seed}, {mode:?})",
+        report.scenarios
+    );
+    let _ = writeln!(
+        out,
+        "leaves {}, joins {}, crashes {}, rejoins {}, worst heal {} slots, \
+         deadline-checked deliveries {}, attributable timeouts {}",
+        report.leaves,
+        report.joins,
+        report.crashes,
+        report.rejoins,
+        report.max_heal_slots,
+        report.deadline_checked,
+        report.attributable_timeouts,
+    );
+    if report.clean() {
+        let _ = writeln!(
+            out,
+            "safety holds under churn: exactly-once, causality, no lost message \
+             delivered, no deadline miss for surviving flows, healing bounded"
+        );
+        Ok(out)
+    } else {
+        for finding in report.findings.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "VIOLATION in scenario {}: {:?}",
+                finding.scenario_index, finding.violation
+            );
+        }
+        Err(out)
+    }
 }
 
 fn cmd_faults(args: &Args) -> Result<String, String> {
@@ -806,7 +883,9 @@ fn cmd_metrics(args: &Args) -> Result<String, String> {
     engine.set_retention(Some(retain), Some(retain));
     engine.add_arrivals(schedule).map_err(|e| e.to_string())?;
     let _ = engine.run_to_completion(Ticks(1_000_000_000_000));
-    let metrics = engine.take_metrics().expect("metrics enabled");
+    let metrics = engine
+        .take_metrics()
+        .ok_or_else(|| "internal error: metrics were not enabled for this run".to_owned())?;
     let stats = engine.into_stats();
     let (p50, p95, p99) = stats.histogram_percentiles();
     let mut out = String::new();
@@ -942,7 +1021,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     let _ = engine.run_to_completion(Ticks(1_000_000_000_000));
     let events = engine
         .take_trace_sink()
-        .expect("sink attached")
+        .ok_or_else(|| "internal error: trace sink was not attached for this run".to_owned())?
         .finish()
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     let stats = engine.into_stats();

@@ -10,6 +10,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 use std::process::ExitCode;
 

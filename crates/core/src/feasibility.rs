@@ -73,6 +73,32 @@ impl ClassFeasibility {
             self.transmission_ticks as f64 / self.bound
         }
     }
+
+    /// Which `B_DDCR` term dominates the bound — the citation an admission
+    /// rejection carries (§4.3 decomposition): the raw transmission time of
+    /// the `u(M)` interferers, the `S1` static-search slots (problem P2), or
+    /// the `S2` time-tree slots (Eq. 5).
+    ///
+    /// The per-term tick weights are recovered from the identity
+    /// `bound = transmission + x·(S1 + S2)` without needing `x` itself.
+    pub fn dominant_term(&self) -> &'static str {
+        let search_ticks = (self.bound - self.transmission_ticks as f64).max(0.0);
+        let (s1_ticks, s2_ticks) = if self.search_slots > 0.0 {
+            (
+                search_ticks * self.s1_slots / self.search_slots,
+                search_ticks * self.s2_slots / self.search_slots,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        if self.transmission_ticks as f64 >= s1_ticks.max(s2_ticks) {
+            "transmission term sum(ceil(..)*a*l'/psi)"
+        } else if s1_ticks >= s2_ticks {
+            "S1 static-search term x*v*xi~^q_(u/v)"
+        } else {
+            "S2 time-tree term x*ceil(v/2)*xi^F_2"
+        }
+    }
 }
 
 /// Feasibility report for a whole HRTDM instance.
@@ -89,21 +115,37 @@ impl FeasibilityReport {
     }
 
     /// The class with the smallest slack (the binding constraint), if any.
+    ///
+    /// Uses [`f64::total_cmp`]: even a degenerate report carrying a
+    /// non-finite bound (which [`evaluate`] itself refuses to produce)
+    /// yields a deterministic answer instead of a panic — NaN slack orders
+    /// above every finite slack, so it is never selected as binding while
+    /// any finite class exists.
     pub fn tightest(&self) -> Option<&ClassFeasibility> {
         self.per_class
             .iter()
-            .min_by(|a, b| a.slack().partial_cmp(&b.slack()).expect("no NaN slack"))
+            .min_by(|a, b| a.slack().total_cmp(&b.slack()))
     }
 }
 
 /// Exact `⌈num/den⌉` for possibly-negative numerators, clamped at zero
 /// (a non-positive window contributes no arrivals).
-fn ceil_div_clamped(num: i128, den: u64) -> u64 {
+///
+/// # Errors
+///
+/// Returns [`DdcrError::InvalidConfig`] for a zero divisor (a degenerate
+/// density window) rather than aborting on the integer division.
+fn ceil_div_clamped(num: i128, den: u64) -> Result<u64, DdcrError> {
+    if den == 0 {
+        return Err(DdcrError::InvalidConfig(
+            "class density window w must be positive".into(),
+        ));
+    }
     if num <= 0 {
-        0
+        Ok(0)
     } else {
         let den = den as i128;
-        ((num + den - 1) / den) as u64
+        Ok(((num + den - 1) / den) as u64)
     }
 }
 
@@ -166,7 +208,7 @@ fn evaluate_class(
     // r(M): messages of MSG_i that can be serviced before M.
     let mut r: u64 = 0;
     for m in set.classes_of(target.source) {
-        r += ceil_div_clamped(d_m, m.density.w.as_u64()) * m.density.a;
+        r += ceil_div_clamped(d_m, m.density.w.as_u64())? * m.density.a;
     }
     let r = r.saturating_sub(1);
 
@@ -175,12 +217,21 @@ fn evaluate_class(
     let mut transmission_ticks: u64 = 0;
     for m in set.classes() {
         let window = d_m + m.deadline.as_u64() as i128 - lp_m;
-        let count = ceil_div_clamped(window, m.density.w.as_u64()) * m.density.a;
+        let count = ceil_div_clamped(window, m.density.w.as_u64())? * m.density.a;
         u += count;
         transmission_ticks += count * medium.wire_bits(m.bits);
     }
 
     let nu = allocation.nu(target.source);
+    if nu == 0 {
+        // Reachable online: a leaving station's leaves are reclaimed, so a
+        // partial allocation can carry sources with ν_i = 0. Admission must
+        // refuse such flows with a typed error, not divide by zero below.
+        return Err(DdcrError::InvalidConfig(format!(
+            "source {} owns no static indices (detached or reclaimed)",
+            target.source.0
+        )));
+    }
     let mut v = 1 + r / nu;
     let q = config.static_tree.leaves();
     // The P2 bound needs u/v ≤ q; if the interference exceeds what v static
@@ -209,6 +260,17 @@ fn evaluate_class(
 
     let search_slots = s1 + s2;
     let bound = transmission_ticks as f64 + medium.slot_ticks as f64 * search_slots;
+    if !bound.is_finite() {
+        // A degenerate instance (e.g. an astronomically dense class pushing
+        // the P2 bound past f64 range) must surface as a typed error: a
+        // non-finite bound would otherwise propagate NaN slack into every
+        // downstream comparison.
+        return Err(DdcrError::InvalidConfig(format!(
+            "B_DDCR for class {} is not finite (transmission {transmission_ticks} ticks, \
+             search {search_slots} slots)",
+            target.id.0
+        )));
+    }
     Ok(ClassFeasibility {
         class: target.id,
         source: target.source,
@@ -336,10 +398,58 @@ mod tests {
 
     #[test]
     fn ceil_div_clamped_handles_negatives() {
-        assert_eq!(ceil_div_clamped(-5, 10), 0);
-        assert_eq!(ceil_div_clamped(0, 10), 0);
-        assert_eq!(ceil_div_clamped(1, 10), 1);
-        assert_eq!(ceil_div_clamped(10, 10), 1);
-        assert_eq!(ceil_div_clamped(11, 10), 2);
+        assert_eq!(ceil_div_clamped(-5, 10).unwrap(), 0);
+        assert_eq!(ceil_div_clamped(0, 10).unwrap(), 0);
+        assert_eq!(ceil_div_clamped(1, 10).unwrap(), 1);
+        assert_eq!(ceil_div_clamped(10, 10).unwrap(), 1);
+        assert_eq!(ceil_div_clamped(11, 10).unwrap(), 2);
+    }
+
+    #[test]
+    fn ceil_div_clamped_rejects_zero_divisor() {
+        // Regression: used to abort on integer division by zero; a
+        // long-running admission service must get a typed error instead.
+        assert!(matches!(
+            ceil_div_clamped(5, 0),
+            Err(DdcrError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn tightest_tolerates_nan_slack_without_panicking() {
+        // Regression: `min_by(partial_cmp().expect("no NaN slack"))` used to
+        // panic on a degenerate report. total_cmp keeps it deterministic and
+        // never selects the NaN class while a finite one exists.
+        let finite = ClassFeasibility {
+            class: ClassId(0),
+            source: SourceId(0),
+            r: 0,
+            u: 0,
+            v: 1,
+            transmission_ticks: 0,
+            s1_slots: 0.0,
+            s2_slots: 0.0,
+            search_slots: 0.0,
+            bound: 10.0,
+            deadline: Ticks(100),
+            feasible: true,
+        };
+        let degenerate = ClassFeasibility {
+            class: ClassId(1),
+            bound: f64::NAN,
+            ..finite.clone()
+        };
+        let report = FeasibilityReport {
+            per_class: vec![degenerate, finite.clone()],
+        };
+        assert_eq!(report.tightest().unwrap().class, finite.class);
+    }
+
+    #[test]
+    fn reclaimed_source_gets_typed_error_not_division_by_zero() {
+        let (set, config, mut allocation) = setup(4, 0.1, 1_000_000);
+        allocation.reclaim(SourceId(0)).unwrap();
+        let err = evaluate(&set, &config, &allocation, &MediumConfig::ethernet()).unwrap_err();
+        assert!(matches!(err, DdcrError::InvalidConfig(_)), "{err}");
     }
 }

@@ -69,11 +69,11 @@ impl StaticAllocation {
     ///
     /// # Errors
     ///
-    /// Returns [`DdcrError::InvalidAllocation`] if `z > q`.
+    /// Returns [`DdcrError::InvalidAllocation`] if `z = 0` or `z > q`.
     pub fn one_per_source(static_tree: TreeShape, z: u32) -> Result<Self, DdcrError> {
-        if u64::from(z) > static_tree.leaves() {
+        if z == 0 || u64::from(z) > static_tree.leaves() {
             return Err(DdcrError::InvalidAllocation(format!(
-                "{z} sources exceed {} static leaves",
+                "need 1 ≤ z ≤ q, got z={z}, q={}",
                 static_tree.leaves()
             )));
         }
@@ -114,9 +114,9 @@ impl StaticAllocation {
     /// Returns [`DdcrError::InvalidAllocation`] if `z·ν > q` or `ν = 0`.
     pub fn contiguous(static_tree: TreeShape, z: u32, nu: u64) -> Result<Self, DdcrError> {
         let q = static_tree.leaves();
-        if nu == 0 || u64::from(z) * nu > q {
+        if z == 0 || nu == 0 || u64::from(z) * nu > q {
             return Err(DdcrError::InvalidAllocation(format!(
-                "need ν ≥ 1 and z·ν ≤ q, got z={z}, ν={nu}, q={q}"
+                "need z ≥ 1, ν ≥ 1 and z·ν ≤ q, got z={z}, ν={nu}, q={q}"
             )));
         }
         let per_source = (0..u64::from(z))
@@ -154,11 +154,115 @@ impl StaticAllocation {
     }
 
     /// The source owning a given static leaf, if any.
+    ///
+    /// Consistent under online reclamation: once
+    /// [`StaticAllocation::reclaim`] empties a source's list, no leaf
+    /// reports that source as owner — a reclaimed leaf is free (or owned by
+    /// whoever it was re-granted to) with no stale answers.
     pub fn owner_of(&self, leaf: u64) -> Option<SourceId> {
         self.per_source
             .iter()
             .position(|indices| indices.binary_search(&leaf).is_ok())
             .map(|i| SourceId(i as u32))
+    }
+
+    /// An allocation covering `z` sources in which **no** source owns a
+    /// leaf yet — the starting point of a dynamic-membership fabric where
+    /// every station must [`StaticAllocation::grant`] its way in.
+    ///
+    /// Such partial allocations deliberately relax the "every source owns
+    /// at least one index" invariant of [`StaticAllocation::new`]: a source
+    /// with `ν_i = 0` is *detached* and must not transmit in STs (the
+    /// feasibility layer refuses its flows with a typed error).
+    pub fn detached(static_tree: TreeShape, z: u32) -> Self {
+        StaticAllocation {
+            q: static_tree.leaves(),
+            per_source: vec![Vec::new(); z as usize],
+        }
+    }
+
+    /// Grants `leaves` to `source`, which must currently own none (a
+    /// joining or re-joining station). The allocation grows to cover
+    /// `source` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdcrError::InvalidAllocation`] if `source` already owns
+    /// indices, a leaf is out of range or already owned, the list is empty,
+    /// or not ranked strictly increasing.
+    pub fn grant(&mut self, source: SourceId, leaves: Vec<u64>) -> Result<(), DdcrError> {
+        if leaves.is_empty() {
+            return Err(DdcrError::InvalidAllocation(format!(
+                "grant to source {} must carry at least one leaf",
+                source.0
+            )));
+        }
+        let idx = source.0 as usize;
+        if self.per_source.get(idx).is_some_and(|l| !l.is_empty()) {
+            return Err(DdcrError::InvalidAllocation(format!(
+                "source {} already owns {} indices",
+                source.0,
+                self.per_source[idx].len()
+            )));
+        }
+        let mut prev: Option<u64> = None;
+        for &leaf in &leaves {
+            if leaf >= self.q {
+                return Err(DdcrError::InvalidAllocation(format!(
+                    "leaf {leaf} outside [0, {})",
+                    self.q
+                )));
+            }
+            if let Some(owner) = self.owner_of(leaf) {
+                return Err(DdcrError::InvalidAllocation(format!(
+                    "leaf {leaf} already owned by source {}",
+                    owner.0
+                )));
+            }
+            if prev.is_some_and(|p| leaf <= p) {
+                return Err(DdcrError::InvalidAllocation(format!(
+                    "grant to source {}: leaves must be ranked increasing",
+                    source.0
+                )));
+            }
+            prev = Some(leaf);
+        }
+        if self.per_source.len() <= idx {
+            self.per_source.resize(idx + 1, Vec::new());
+        }
+        self.per_source[idx] = leaves;
+        Ok(())
+    }
+
+    /// Reclaims every leaf of `source` (a leaving or crashed station),
+    /// returning the reclaimed list. After this call `owner_of` reports
+    /// none of those leaves as owned and `nu(source)` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdcrError::InvalidAllocation`] if `source` is outside the
+    /// allocation.
+    pub fn reclaim(&mut self, source: SourceId) -> Result<Vec<u64>, DdcrError> {
+        let idx = source.0 as usize;
+        match self.per_source.get_mut(idx) {
+            Some(list) => Ok(std::mem::take(list)),
+            None => Err(DdcrError::InvalidAllocation(format!(
+                "source {} outside allocation of {} sources",
+                source.0,
+                self.per_source.len()
+            ))),
+        }
+    }
+
+    /// Every unowned static leaf, ascending — the pool a join draws from.
+    pub fn free_leaves(&self) -> Vec<u64> {
+        let mut owned = vec![false; self.q as usize];
+        for list in &self.per_source {
+            for &leaf in list {
+                owned[leaf as usize] = true;
+            }
+        }
+        (0..self.q).filter(|&l| !owned[l as usize]).collect()
     }
 }
 
@@ -209,6 +313,55 @@ mod tests {
         assert!(StaticAllocation::one_per_source(tree(4), 5).is_err());
         assert!(StaticAllocation::round_robin(tree(4), 0).is_err());
         assert!(StaticAllocation::contiguous(tree(4), 3, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_sources() {
+        // Regression: z = 0 used to build a degenerate empty allocation
+        // silently in one_per_source and contiguous.
+        assert!(StaticAllocation::one_per_source(tree(4), 0).is_err());
+        assert!(StaticAllocation::contiguous(tree(4), 0, 1).is_err());
+        assert!(StaticAllocation::contiguous(tree(4), 2, 0).is_err());
+    }
+
+    #[test]
+    fn reclaim_leaves_no_stale_owner() {
+        let mut a = StaticAllocation::round_robin(tree(16), 4).unwrap();
+        assert_eq!(a.owner_of(9), Some(SourceId(1)));
+        let reclaimed = a.reclaim(SourceId(1)).unwrap();
+        assert_eq!(reclaimed, vec![1, 5, 9, 13]);
+        assert_eq!(a.nu(SourceId(1)), 0);
+        for leaf in reclaimed {
+            assert_eq!(a.owner_of(leaf), None, "stale owner for leaf {leaf}");
+        }
+        assert!(a.reclaim(SourceId(9)).is_err());
+    }
+
+    #[test]
+    fn grant_reuses_reclaimed_leaves() {
+        let mut a = StaticAllocation::contiguous(tree(16), 3, 4).unwrap();
+        let freed = a.reclaim(SourceId(0)).unwrap();
+        assert_eq!(a.free_leaves(), vec![0, 1, 2, 3, 12, 13, 14, 15]);
+        // Double-grant and overlap rejected.
+        assert!(a.grant(SourceId(1), vec![0]).is_err());
+        assert!(a.grant(SourceId(0), vec![4]).is_err());
+        assert!(a.grant(SourceId(0), vec![]).is_err());
+        assert!(a.grant(SourceId(0), vec![3, 3]).is_err());
+        assert!(a.grant(SourceId(0), vec![99]).is_err());
+        a.grant(SourceId(0), freed).unwrap();
+        assert_eq!(a.indices_of(SourceId(0)), &[0, 1, 2, 3]);
+        assert_eq!(a.owner_of(0), Some(SourceId(0)));
+    }
+
+    #[test]
+    fn detached_allocation_grows_by_grant() {
+        let mut a = StaticAllocation::detached(tree(16), 2);
+        assert_eq!(a.sources(), 2);
+        assert_eq!(a.nu(SourceId(0)), 0);
+        assert_eq!(a.free_leaves().len(), 16);
+        a.grant(SourceId(3), vec![7]).unwrap();
+        assert_eq!(a.sources(), 4);
+        assert_eq!(a.owner_of(7), Some(SourceId(3)));
     }
 
     #[test]

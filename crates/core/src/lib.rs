@@ -57,6 +57,7 @@ mod error;
 pub mod feasibility;
 mod indices;
 pub mod inversions;
+pub mod membership;
 pub mod mts;
 pub mod multibus;
 pub mod network;
@@ -66,6 +67,7 @@ pub use config::{BurstConfig, DdcrConfig};
 pub use edf::EdfQueue;
 pub use error::DdcrError;
 pub use indices::StaticAllocation;
+pub use membership::{AdmissionDecision, FlowRequest, Membership, TransitionReceipt};
 pub use protocol::{DdcrStation, ProtocolCounters};
 
 #[cfg(test)]

@@ -1,0 +1,180 @@
+//! Property-based tests of the dynamic membership layer: random
+//! join/leave/admit interleavings must preserve the leaf-partition
+//! invariants and never let an admission push an incumbent flow past its
+//! deadline — the governing invariant of the `ddcr serve` admission
+//! contract.
+
+use ddcr_core::{AdmissionDecision, DdcrConfig, FlowRequest, Membership};
+use ddcr_sim::{MediumConfig, SourceId, Ticks};
+use proptest::prelude::*;
+
+/// One scripted operation against the fabric.
+#[derive(Debug, Clone)]
+enum Op {
+    Join(u32),
+    Leave(u32),
+    Admit(u32),
+}
+
+fn op_strategy(z: u32) -> impl Strategy<Value = Op> {
+    (0u32..3, 0..z).prop_map(|(kind, station)| match kind {
+        0 => Op::Join(station),
+        1 => Op::Leave(station),
+        _ => Op::Admit(station),
+    })
+}
+
+fn fabric(z: u32, join_nu: u64) -> Membership {
+    let config = DdcrConfig::for_sources(z, Ticks(100_000)).unwrap();
+    Membership::new(config, MediumConfig::ethernet(), z, join_nu).unwrap()
+}
+
+fn modest_flow(station: u32, n: usize) -> FlowRequest {
+    FlowRequest {
+        source: SourceId(station),
+        name: format!("f{n}"),
+        bits: 4_000,
+        deadline: Ticks(50_000_000),
+        arrivals: 1,
+        window: Ticks(10_000_000),
+    }
+}
+
+/// Replays a script; invalid operations (double join, absent leave,
+/// admit-before-join, pool exhaustion) must surface as typed errors, never
+/// panics, and leave the state untouched.
+fn run_script(m: &mut Membership, ops: &[Op]) {
+    for (n, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Join(s) => {
+                let _ = m.join(SourceId(s));
+            }
+            Op::Leave(s) => {
+                let _ = m.leave(SourceId(s));
+            }
+            Op::Admit(s) => {
+                let _ = m.admit(&modest_flow(s, n));
+            }
+        }
+    }
+}
+
+/// The partition invariants the engine's correctness rests on.
+fn assert_partition_invariants(m: &Membership, z: u32) {
+    let allocation = m.allocation();
+    let total = allocation.leaves();
+    // Every leaf is owned by at most one station, and the ownership map is
+    // consistent with each station's own index list.
+    let mut owned = 0u64;
+    for s in 0..z {
+        let source = SourceId(s);
+        let indices = allocation.indices_of(source);
+        assert_eq!(indices.len() as u64, allocation.nu(source));
+        owned += indices.len() as u64;
+        for &leaf in indices {
+            assert_eq!(
+                allocation.owner_of(leaf),
+                Some(source),
+                "leaf {leaf} owner map inconsistent with indices_of({s})"
+            );
+        }
+        // Absent stations hold no leaves (a leave reclaims everything).
+        if !m.is_present(source) {
+            assert_eq!(allocation.nu(source), 0, "absent station {s} holds leaves");
+        }
+    }
+    // Owned + free partitions the leaf set exactly.
+    let free = allocation.free_leaves();
+    assert_eq!(owned + free.len() as u64, total, "leaves leaked or invented");
+    for &leaf in &free {
+        assert_eq!(allocation.owner_of(leaf), None, "free leaf {leaf} has an owner");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary join/leave/admit interleavings preserve the partition
+    /// invariants and the admission safety invariant (the admitted set
+    /// stays feasible — no deadline can be missed analytically).
+    #[test]
+    fn random_churn_preserves_partition_and_admission_invariants(
+        z in 2u32..6,
+        join_nu in 1u64..3,
+        ops in prop::collection::vec(op_strategy(5), 1..40),
+    ) {
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Join(s) => Op::Join(s % z),
+                Op::Leave(s) => Op::Leave(s % z),
+                Op::Admit(s) => Op::Admit(s % z),
+            })
+            .collect();
+        let mut m = fabric(z, join_nu);
+        run_script(&mut m, &ops);
+        assert_partition_invariants(&m, z);
+        // No force_admit in the script, so the invariant checker must pass:
+        // admitted sources present and seated, admitted set feasible.
+        m.check_invariants().unwrap();
+        prop_assert_eq!(m.safety_violations(), 0);
+    }
+
+    /// The same script always produces the same fabric: partition, admitted
+    /// set, and member set are all deterministic functions of the ops.
+    #[test]
+    fn membership_is_deterministic(
+        z in 2u32..5,
+        ops in prop::collection::vec(op_strategy(4), 1..30),
+    ) {
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Join(s) => Op::Join(s % z),
+                Op::Leave(s) => Op::Leave(s % z),
+                Op::Admit(s) => Op::Admit(s % z),
+            })
+            .collect();
+        let mut a = fabric(z, 1);
+        let mut b = fabric(z, 1);
+        run_script(&mut a, &ops);
+        run_script(&mut b, &ops);
+        for s in 0..z {
+            prop_assert_eq!(
+                a.allocation().indices_of(SourceId(s)),
+                b.allocation().indices_of(SourceId(s))
+            );
+            prop_assert_eq!(a.is_present(SourceId(s)), b.is_present(SourceId(s)));
+        }
+        prop_assert_eq!(a.admitted(), b.admitted());
+    }
+
+    /// Admission monotonicity: an admitted incumbent stays feasible no
+    /// matter what later applicants ask for — rejections really protect it.
+    #[test]
+    fn incumbents_survive_any_applicant(
+        bits in 1_000u64..64_000,
+        deadline in 200_000u64..2_000_000,
+        arrivals in 1u64..200,
+        window in 100_000u64..1_000_000,
+    ) {
+        let mut m = fabric(3, 1);
+        m.join(SourceId(0)).unwrap();
+        m.join(SourceId(1)).unwrap();
+        let d = m.admit(&modest_flow(0, 0)).unwrap();
+        prop_assert!(matches!(d, AdmissionDecision::Admitted { .. }));
+        let applicant = FlowRequest {
+            source: SourceId(1),
+            name: "applicant".into(),
+            bits,
+            deadline: Ticks(deadline),
+            arrivals,
+            window: Ticks(window),
+        };
+        let _ = m.admit(&applicant).unwrap();
+        // Whatever the verdict, the whole admitted set is still feasible.
+        m.check_invariants().unwrap();
+        let report = m.evaluate().unwrap();
+        prop_assert!(report.feasible());
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::channel::{Action, CollisionMode, MediumConfig, Observation};
 use crate::fault::{fence_cap, FaultPlan, SlotFaults};
+use crate::membership::{MembershipChange, MembershipPlan, ABSENT};
 use crate::message::{Delivery, Frame, Message};
 use crate::metrics::{PhaseHint, ProtocolPhase, SimMetrics, XiBoundTable};
 use crate::station::{HoldHint, SearchHint, SearchSlotRecord, Station};
@@ -91,10 +92,15 @@ pub struct Engine {
     /// events are keyed by, identical under fast-forward and reference
     /// stepping.
     slot_ordinal: u64,
-    /// Per-station crash state: `Some(r)` means down until the slot with
-    /// ordinal `r` (restart processed at the start of that slot). Only ever
-    /// populated by a non-empty fault plan.
+    /// Per-station fencing state: `Some(r)` means off the fabric until the
+    /// slot with ordinal `r` (restart processed at the start of that
+    /// slot). A crashed station carries its restart ordinal; an absent one
+    /// (left, or never joined — see [`MembershipPlan`]) carries the
+    /// [`ABSENT`] sentinel, which never falls due on its own. Only ever
+    /// populated by a non-empty fault or membership plan.
     down: Vec<Option<u64>>,
+    /// The scheduled membership changes (empty by default: zero overhead).
+    membership: MembershipPlan,
     /// Cached `stations backlog + pending` total; valid when not stale.
     /// Silence slots cannot change any queue, so the cache only goes stale
     /// on delivered arrivals and busy/collision slots.
@@ -160,6 +166,7 @@ impl Engine {
             faults: FaultPlan::none(),
             slot_ordinal: 0,
             down: Vec::new(),
+            membership: MembershipPlan::none(),
             backlog_cache: 0,
             backlog_stale: true,
             fast_forward: true,
@@ -189,6 +196,44 @@ impl Engine {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
         self.faults = plan;
         self
+    }
+
+    /// Installs a membership schedule (see [`MembershipPlan`]): stations
+    /// listed as initially absent are fenced off the fabric from slot 0,
+    /// and scheduled joins/leaves are processed — epoch-fenced against
+    /// every fast-forward tier — at their decision-slot ordinals. The
+    /// empty plan (the default) leaves the engine bitwise identical to one
+    /// without membership support. Call after attaching stations and
+    /// before running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownSource`] if any event or initial
+    /// absentee names a station index that was never attached.
+    pub fn set_membership_plan(&mut self, plan: MembershipPlan) -> Result<&mut Self, SimError> {
+        let stations = self.stations.len();
+        let out_of_range = plan
+            .initially_absent()
+            .iter()
+            .copied()
+            .chain(plan.events().iter().map(|e| e.change.station()))
+            .find(|&s| s as usize >= stations);
+        if let Some(source) = out_of_range {
+            return Err(SimError::UnknownSource { source, stations });
+        }
+        for &station in plan.initially_absent() {
+            self.down[station as usize] = Some(ABSENT);
+        }
+        self.membership = plan;
+        self.backlog_stale = true;
+        Ok(self)
+    }
+
+    /// Whether the station at `index` is currently absent from the fabric
+    /// (left, or not yet joined) — as opposed to crashed with a scheduled
+    /// restart, which [`Engine::is_down`] also reports.
+    pub fn is_absent(&self, index: usize) -> bool {
+        self.down.get(index).is_some_and(|d| *d == Some(ABSENT))
     }
 
     /// Enables channel tracing.
@@ -449,6 +494,7 @@ impl Engine {
         // corrupted busy slot busy).
         if (self.fast_forward || self.busy_fast_forward || self.contention_fast_forward)
             && !self.fault_transition_due()
+            && !self.membership_transition_due()
         {
             self.deliver_due();
             if stop_on_drain && self.backlog_stale && self.tracked_backlog() == 0 {
@@ -482,7 +528,9 @@ impl Engine {
     /// ends at (or before) it.
     fn fault_transition_due(&self) -> bool {
         if self.faults.is_empty() {
-            // Crashes only originate from the plan, so nothing can be down.
+            // Crashes only originate from the plan; membership absences in
+            // `down` carry the never-due ABSENT sentinel, so with no fault
+            // plan no restart can fall due.
             return false;
         }
         self.down
@@ -490,6 +538,15 @@ impl Engine {
             .flatten()
             .any(|&restart| restart <= self.slot_ordinal)
             || !self.faults.events_at(self.slot_ordinal).is_empty()
+    }
+
+    /// Whether a scheduled membership change strikes the slot at the
+    /// current ordinal — such a slot must go through the reference stepper
+    /// so joins and leaves land at exactly the same channel state under
+    /// every fast-forward tier.
+    fn membership_transition_due(&self) -> bool {
+        !self.membership.is_empty()
+            && !self.membership.events_at(self.slot_ordinal).is_empty()
     }
 
     /// How many guaranteed-silent slots can be jumped from `now`, if any.
@@ -521,13 +578,17 @@ impl Engine {
         }
         let target = horizon.map_or(limit, |h| h.min(limit));
         let span = target.saturating_sub(self.now);
-        // Never jump over a scheduled fault or a pending restart: the slot
-        // they strike must go through the reference stepper.
-        let slots = fence_cap(
-            &self.faults,
-            &self.down,
+        // Never jump over a scheduled fault, membership change, or pending
+        // restart: the slot they strike must go through the reference
+        // stepper.
+        let slots = self.membership.fence(
             self.slot_ordinal,
-            span.div_ceil_slots(Ticks(self.medium.slot_ticks)),
+            fence_cap(
+                &self.faults,
+                &self.down,
+                self.slot_ordinal,
+                span.div_ceil_slots(Ticks(self.medium.slot_ticks)),
+            ),
         );
         (slots > 0).then_some(slots)
     }
@@ -595,9 +656,13 @@ impl Engine {
         let Some(holder) = holder else {
             return false;
         };
-        // Never run into a scheduled fault or a pending restart: the slot
-        // they strike must go through the reference stepper.
-        max_frames = fence_cap(&self.faults, &self.down, self.slot_ordinal, max_frames);
+        // Never run into a scheduled fault, membership change, or pending
+        // restart: the slot they strike must go through the reference
+        // stepper.
+        max_frames = self.membership.fence(
+            self.slot_ordinal,
+            fence_cap(&self.faults, &self.down, self.slot_ordinal, max_frames),
+        );
         if max_frames == 0 {
             return false;
         }
@@ -698,7 +763,10 @@ impl Engine {
                 SearchHint::Contend => engaged.push(idx),
             }
         }
-        let max_slots = fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX);
+        let max_slots = self.membership.fence(
+            self.slot_ordinal,
+            fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX),
+        );
         let mut ran = false;
         if quiet > 0 && committed && max_slots > 0 && self.hint_attributable(&engaged) {
             ran = self.run_search(&engaged, max_slots, limit);
@@ -879,9 +947,13 @@ impl Engine {
             None => 0,
         };
         cycles = cycles.min(within_horizon);
-        // Never run into a scheduled fault or a pending restart: the slot
-        // they strike must go through the reference stepper.
-        let fenced_slots = fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX);
+        // Never run into a scheduled fault, membership change, or pending
+        // restart: the slot they strike must go through the reference
+        // stepper.
+        let fenced_slots = self.membership.fence(
+            self.slot_ordinal,
+            fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX),
+        );
         cycles = cycles.min(fenced_slots / (probes + 1));
         if cycles == 0 {
             self.cycle_sources = sources;
@@ -986,8 +1058,77 @@ impl Engine {
         }
     }
 
+    /// Processes the membership changes due at the current slot ordinal:
+    /// joins first (a station admitted this slot is up — receive-only,
+    /// resynchronizing — for it), then leaves, mirroring the
+    /// restarts-before-crashes order of the fault transitions.
+    fn process_membership_transitions(&mut self) {
+        let ordinal = self.slot_ordinal;
+        let changes: Vec<MembershipChange> = self
+            .membership
+            .events_at(ordinal)
+            .iter()
+            .map(|e| e.change)
+            .collect();
+        for change in &changes {
+            if let MembershipChange::Join { station } = *change {
+                let idx = station as usize;
+                if self.down[idx].is_none() {
+                    // Already on the fabric: a duplicate join is a no-op.
+                    continue;
+                }
+                self.down[idx] = None;
+                // The join handshake reuses the crash-restart resync
+                // primitive: the station comes up receive-only and stays
+                // off the channel until an epoch anchor stamped after this
+                // instant proves the shared state — its reserved,
+                // provably-silent contention window.
+                self.stations[idx].restart(self.now);
+                self.stats.joins += 1;
+                if let Some(metrics) = self.metrics.as_mut() {
+                    metrics.on_membership(true);
+                }
+                self.emit(TraceEvent::Joined {
+                    at: self.now,
+                    station,
+                });
+                self.backlog_stale = true;
+            }
+        }
+        for change in &changes {
+            if let MembershipChange::Leave { station } = *change {
+                let idx = station as usize;
+                if self.down[idx] == Some(ABSENT) {
+                    // Already off the fabric: a duplicate leave is a no-op.
+                    continue;
+                }
+                if self.down[idx].is_none() {
+                    // A live station's queue dies with its network module;
+                    // a crashed one already lost it at the crash.
+                    let lost = self.stations[idx].crash(self.now);
+                    for msg in lost {
+                        self.stats.push_lost(msg);
+                    }
+                }
+                self.down[idx] = Some(ABSENT);
+                self.stats.leaves += 1;
+                if let Some(metrics) = self.metrics.as_mut() {
+                    metrics.on_membership(false);
+                }
+                self.emit(TraceEvent::Left {
+                    at: self.now,
+                    station,
+                });
+                self.backlog_stale = true;
+            }
+        }
+    }
+
     /// Executes one decision slot (the reference stepper).
     fn step(&mut self) {
+        if !self.membership.is_empty() {
+            self.process_membership_transitions();
+        }
         if !self.faults.is_empty() {
             self.process_fault_transitions();
         }

@@ -35,6 +35,7 @@
 mod channel;
 mod engine;
 mod fault;
+mod membership;
 mod message;
 mod metrics;
 pub mod rng;
@@ -46,6 +47,7 @@ mod trace;
 pub use channel::{Action, CollisionMode, MediumConfig, Observation};
 pub use engine::{Engine, SimError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, SlotFaults};
+pub use membership::{MembershipChange, MembershipEvent, MembershipPlan};
 pub use message::{ClassId, Delivery, EpochStamp, Frame, Message, MessageId, SourceId};
 pub use metrics::{
     LatencyHistogram, MetricsViolation, PhaseHint, PhaseSlots, ProtocolPhase, SearchKind,

@@ -369,6 +369,10 @@ pub struct SimMetrics {
     pub search_skipped_slots: u64,
     /// Number of contention fast-forward runs.
     pub search_skip_runs: u64,
+    /// Membership accounting: stations that (re-)joined the fabric.
+    pub joins: u64,
+    /// Membership accounting: stations that left the fabric.
+    pub leaves: u64,
 }
 
 impl SimMetrics {
@@ -620,6 +624,22 @@ impl SimMetrics {
         self.search_skip_runs += 1;
     }
 
+    /// Records a membership transition (`join = true` for a join, `false`
+    /// for a leave).
+    ///
+    /// The active-set change perturbs any search in flight exactly the way
+    /// an injected fault does — the analytic ξ allowance was computed for
+    /// the *old* membership — so open observation windows are tainted and
+    /// never checked, the same conservative treatment faulted slots get.
+    pub fn on_membership(&mut self, join: bool) {
+        if join {
+            self.joins += 1;
+        } else {
+            self.leaves += 1;
+        }
+        self.taint_open_windows();
+    }
+
     /// Closes any windows still open (a run cutoff mid-search); they are
     /// recorded in the overhead maxima but never checked.
     pub fn finish(&mut self) {
@@ -817,6 +837,31 @@ mod tests {
         m.on_slot(tts(100), 1, 0, false);
         assert_eq!(m.violations_total, 0);
         assert_eq!(m.epochs_checked, 0);
+    }
+
+    #[test]
+    fn membership_transitions_taint_the_open_window() {
+        let mut m = SimMetrics::new(2);
+        m.set_xi_bounds(tiny_bounds(), tiny_bounds());
+        // An over-bound epoch perturbed by a leave must NOT be checked: the
+        // ξ allowance was computed for the pre-leave membership.
+        for _ in 0..6 {
+            m.on_slot(tts(0), 1, 0, false);
+        }
+        m.on_membership(false);
+        m.on_slot(tts(100), 1, 0, false);
+        assert_eq!(m.leaves, 1);
+        assert_eq!(m.violations_total, 0);
+        assert_eq!(m.epochs_checked, 0);
+        // The join taints the epoch open at transition time too…
+        m.on_membership(true);
+        m.on_slot(tts(200), 0, 1, false);
+        assert_eq!(m.joins, 1);
+        assert_eq!(m.epochs_checked, 0);
+        // …but the first epoch opened entirely after it checks normally.
+        m.on_slot(tts(300), 0, 1, false);
+        assert_eq!(m.epochs_checked, 1);
+        assert_eq!(m.violations_total, 0);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct ChannelStats {
     pub crashes: u64,
     /// Injected-fault accounting: station restarts processed.
     pub restarts: u64,
+    /// Membership accounting: stations that (re-)joined the fabric.
+    pub joins: u64,
+    /// Membership accounting: stations that left the fabric.
+    pub leaves: u64,
     /// Retained messages lost to crashes: queue contents dropped at crash
     /// time plus arrivals addressed to a station while it was down. Subject
     /// to [`ChannelStats::lost_retention`]; [`ChannelStats::lost_total`] is

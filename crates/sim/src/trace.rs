@@ -44,6 +44,20 @@ pub enum TraceEvent {
         /// The message that was on the wire and lost.
         message: MessageId,
     },
+    /// A station (re-)joined the fabric and began resynchronizing.
+    Joined {
+        /// Time of the membership transition (a decision-slot boundary).
+        at: Ticks,
+        /// Station index (attachment order).
+        station: u32,
+    },
+    /// A station left the fabric; its pending queue was recorded lost.
+    Left {
+        /// Time of the membership transition (a decision-slot boundary).
+        at: Ticks,
+        /// Station index (attachment order).
+        station: u32,
+    },
 }
 
 impl TraceEvent {
@@ -54,7 +68,9 @@ impl TraceEvent {
             | TraceEvent::Collision { at, .. }
             | TraceEvent::TxStart { at, .. }
             | TraceEvent::TxEnd { at, .. }
-            | TraceEvent::Garbled { at, .. } => at,
+            | TraceEvent::Garbled { at, .. }
+            | TraceEvent::Joined { at, .. }
+            | TraceEvent::Left { at, .. } => at,
         }
     }
 }
@@ -151,6 +167,9 @@ impl Trace {
                 TraceEvent::TxStart { .. } => out.push('#'),
                 TraceEvent::TxEnd { .. } => {}
                 TraceEvent::Garbled { .. } => out.push('?'),
+                // Membership transitions occupy no channel time; they are
+                // annotations between slots, not slots.
+                TraceEvent::Joined { .. } | TraceEvent::Left { .. } => {}
             }
         }
         out
@@ -271,6 +290,16 @@ impl JsonlSink {
                 "{{\"at\":{},\"event\":\"garbled\",\"message\":{}}}\n",
                 at.as_u64(),
                 message.0
+            ),
+            TraceEvent::Joined { at, station } => format!(
+                "{{\"at\":{},\"event\":\"joined\",\"station\":{}}}\n",
+                at.as_u64(),
+                station
+            ),
+            TraceEvent::Left { at, station } => format!(
+                "{{\"at\":{},\"event\":\"left\",\"station\":{}}}\n",
+                at.as_u64(),
+                station
             ),
         };
         self.write_line(&line);
@@ -440,6 +469,29 @@ mod tests {
         assert_eq!(sink.finish().unwrap(), 1);
         let text = String::from_utf8(buf.borrow().clone()).unwrap();
         assert_eq!(text, "{\"at\":0,\"event\":\"silence\"}\n");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_membership_lines() {
+        let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sink = JsonlSink::headerless(Box::new(SharedBuf(buf.clone())));
+        sink.record(&TraceEvent::Left { at: Ticks(512), station: 3 });
+        sink.record(&TraceEvent::Joined { at: Ticks(4096), station: 3 });
+        assert_eq!(sink.finish().unwrap(), 2);
+        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "{\"at\":512,\"event\":\"left\",\"station\":3}");
+        assert_eq!(lines[1], "{\"at\":4096,\"event\":\"joined\",\"station\":3}");
+    }
+
+    #[test]
+    fn membership_events_do_not_widen_the_timeline() {
+        let mut t = Trace::enabled();
+        t.record(TraceEvent::Silence { at: Ticks(0) });
+        t.record(TraceEvent::Left { at: Ticks(512), station: 1 });
+        t.record(TraceEvent::Joined { at: Ticks(1024), station: 1 });
+        t.record(TraceEvent::Silence { at: Ticks(1536) });
+        assert_eq!(t.render_timeline(), "..");
     }
 
     #[test]

@@ -132,6 +132,8 @@ proptest! {
                     prop_assert!(!in_flight);
                     last = *at;
                 }
+                // Membership annotations occupy no channel time.
+                TraceEvent::Joined { .. } | TraceEvent::Left { .. } => {}
             }
         }
 

@@ -130,6 +130,8 @@ fn safety_holds_under_heavy_jamming() {
             | TraceEvent::Garbled { .. } => {
                 assert!(!in_flight, "channel event inside a transmission");
             }
+            // Membership annotations occupy no channel time.
+            TraceEvent::Joined { .. } | TraceEvent::Left { .. } => {}
         }
     }
 }

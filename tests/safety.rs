@@ -43,6 +43,8 @@ fn assert_mutual_exclusion(events: &[TraceEvent]) {
                     "channel event during an in-flight transmission"
                 );
             }
+            // Membership annotations occupy no channel time.
+            TraceEvent::Joined { .. } | TraceEvent::Left { .. } => {}
         }
     }
     assert!(in_flight.is_none(), "transmission never completed");
