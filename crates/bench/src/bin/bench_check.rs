@@ -12,7 +12,10 @@
 //! diverged or whose tier never engaged, divergent fast/reference
 //! statistics, incomplete drains, a multichannel section that diverged
 //! across worker counts, missed deadlines, lost its pinned capacity win,
-//! or — on hosts with >= 4 cores — scaled below the 2x floor).
+//! or — on hosts with >= 4 cores — scaled below the 2x floor, and a
+//! federation section that diverged across worker counts, broke the
+//! N=1 ≡ single-bus identity, bridged no traffic, or scaled below its
+//! own 2x floor on hosts with >= 4 cores).
 //! `scripts/bench_check` wraps this binary for CI.
 
 use ddcr_bench::enginebench::{check_report, REPORT_PATH};
@@ -78,11 +81,21 @@ fn main() {
             .and_then(|m| m.get("host_parallelism"))
             .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
+        let federation = doc.get("federation");
+        let federation_speedup = federation
+            .and_then(|m| m.get("speedup"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let handoffs = federation
+            .and_then(|m| m.get("handoffs"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
         println!(
             "bench_check: PASS ({path}; idle fast-forward {idle_speedup:.1}x, \
              loaded fast-forward {loaded_speedup:.1}x @0.5 / {high_load_speedup:.1}x @0.8, \
              contention tier {contention_speedup:.1}x, \
-             multichannel {multichannel_speedup:.1}x on {host:.0} cores)"
+             multichannel {multichannel_speedup:.1}x on {host:.0} cores, \
+             federation {federation_speedup:.1}x with {handoffs:.0} handoffs)"
         );
     } else {
         for violation in &violations {

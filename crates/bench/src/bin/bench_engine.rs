@@ -59,6 +59,18 @@ fn main() {
             drain.completed,
         );
     }
+    let federation = &report.federation;
+    eprintln!(
+        "bench_engine: federation {} segments x {} workers: {}x ({} handoffs over {} rounds, equivalent={}, n1_identical={}, completed={})",
+        federation.segments,
+        federation.workers,
+        format_args!("{:.1}", federation.speedup()),
+        federation.handoffs,
+        federation.rounds,
+        federation.equivalent,
+        federation.n1_identical,
+        federation.completed,
+    );
     eprintln!(
         "bench_engine: edf queue {:.1} Mops/s",
         report.queue.operations as f64 * 1e3 / report.queue.wall_ns.max(1) as f64

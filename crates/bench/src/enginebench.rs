@@ -49,7 +49,11 @@ use std::time::Instant;
 /// scaling (gated on hosts with ≥ 4 cores), worker-count equivalence, and
 /// the pinned §3.1 capacity win (z=32 infeasible at C=1, provable and
 /// deadline-miss-free at C=4).
-pub const SCHEMA_VERSION: u64 = 4;
+/// Version 5 added the `federation` section: epoch-round bridged-segment
+/// scaling on the work-stealing pool — worker-count equivalence and N=1 ≡
+/// single-bus enforced everywhere, wall-clock speedup gated on hosts with
+/// ≥ [`MIN_GATED_PARALLELISM`] cores.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Default report location (relative to the workspace root, like
 /// `results/`).
@@ -78,6 +82,14 @@ pub const MIN_MULTICHANNEL_SPEEDUP: f64 = 2.0;
 /// Host parallelism below which the multichannel wall-clock gate is
 /// informational instead of enforced.
 pub const MIN_GATED_PARALLELISM: u64 = 4;
+
+/// Gate threshold: running the bridged-segment federation on the
+/// work-stealing pool must clear at least this wall-clock multiple over
+/// serial segment execution. Enforced only when the measuring host
+/// reports at least [`MIN_GATED_PARALLELISM`] cores, exactly like the
+/// multichannel gate; equivalence, completion, bridge traffic, and the
+/// N=1 ≡ single-bus identity are enforced on every host.
+pub const MIN_FEDERATION_SPEEDUP: f64 = 2.0;
 
 /// How much work the suite does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +195,14 @@ impl Profile {
     /// Long enough that per-channel simulation dominates worker-pool
     /// setup, so the serial/parallel ratio measures real scaling.
     fn multichannel_horizon(self) -> Ticks {
+        match self {
+            Profile::Smoke => Ticks(24_000_000),
+            Profile::Full => Ticks(96_000_000),
+        }
+    }
+
+    /// Arrival horizon for the federation scaling workload, in ticks.
+    fn federation_horizon(self) -> Ticks {
         match self {
             Profile::Smoke => Ticks(24_000_000),
             Profile::Full => Ticks(96_000_000),
@@ -362,6 +382,55 @@ impl MultichannelResult {
     }
 }
 
+/// Result of the federation scaling measurement: the multichannel
+/// workload re-cast as bridged segments advancing in epoch-aligned
+/// rounds, run serially (1 worker) and on the work-stealing pool, plus
+/// the two identities the gate pins — worker-count equivalence and
+/// N=1 ≡ single-bus.
+#[derive(Debug, Clone)]
+pub struct FederationResult {
+    /// Bridged segments in the federation.
+    pub segments: usize,
+    /// Videoconference participants (message sources).
+    pub participants: u32,
+    /// Messages scheduled across all segments.
+    pub messages: u64,
+    /// Workers used for the parallel run.
+    pub workers: usize,
+    /// `available_parallelism()` of the measuring host — the checker
+    /// enforces the speedup gate only when this is ≥
+    /// [`MIN_GATED_PARALLELISM`].
+    pub host_parallelism: usize,
+    /// Serial (1-worker) wall time (min over repeats), nanoseconds.
+    pub serial_wall_ns: u64,
+    /// Pooled wall time (min over repeats), nanoseconds.
+    pub parallel_wall_ns: u64,
+    /// Whether serial and pooled runs produced identical per-segment
+    /// statistics, round counts, and handoff counts.
+    pub equivalent: bool,
+    /// Whether every segment drained inside the budget (both runs).
+    pub completed: bool,
+    /// Bridge handoffs exchanged at epoch boundaries (must be > 0: a
+    /// federation without transit traffic demonstrates nothing).
+    pub handoffs: u64,
+    /// Epoch rounds the parallel run executed.
+    pub rounds: u64,
+    /// Whether a one-segment federation of the same workload reproduced
+    /// the single-bus engine's statistics bit for bit.
+    pub n1_identical: bool,
+    /// Deadline misses across all segments for *local* traffic-only
+    /// accounting (bridged hops use split deadlines, so this counts the
+    /// report total).
+    pub misses: u64,
+}
+
+impl FederationResult {
+    /// Serial-over-parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_wall_ns as f64 / self.parallel_wall_ns.max(1) as f64
+    }
+}
+
 /// Result of the EDF queue measurement.
 #[derive(Debug, Clone)]
 pub struct QueueResult {
@@ -386,6 +455,8 @@ pub struct BenchReport {
     pub drains: Vec<DrainResult>,
     /// Multichannel scaling and capacity measurement.
     pub multichannel: MultichannelResult,
+    /// Federated-segment scaling measurement.
+    pub federation: FederationResult,
     /// EDF queue throughput.
     pub queue: QueueResult,
 }
@@ -767,6 +838,106 @@ pub fn measure_multichannel(profile: Profile) -> MultichannelResult {
     }
 }
 
+/// Measures federation scaling: the E15 workload re-cast as four bridged
+/// segments advancing in epoch-aligned rounds on the work-stealing pool,
+/// with every fourth class crossing a bridge. The same federation runs
+/// serially (1 worker) and on the pool; the report carries both wall
+/// times, the worker-count-equivalence verdict, and the N=1 ≡ single-bus
+/// identity that pins the chunked virtual-clock composition.
+pub fn measure_federation(profile: Profile) -> FederationResult {
+    use ddcr_core::{federate, multibus};
+
+    const SEGMENTS: usize = 4;
+    const PARTICIPANTS: u32 = 32;
+    const TRANSIT_EVERY: u32 = 4;
+    let medium = MediumConfig::gigabit_ethernet();
+    let set = scenario::videoconference(PARTICIPANTS).expect("scenario is valid");
+    let config = default_ddcr_config(&set, &medium);
+    let allocation = StaticAllocation::round_robin(config.static_tree, PARTICIPANTS)
+        .expect("allocation covers all sources");
+
+    let split = multibus::balance_by_load(&set, SEGMENTS);
+    let routes = federate::transit_routes(&set, &split, TRANSIT_EVERY);
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(profile.federation_horizon())
+        .expect("schedule generation");
+    let messages = schedule.len() as u64;
+    let budget = Ticks(4_000_000_000_000);
+    let epoch = Ticks(1_000_000);
+    let run = |workers: usize| {
+        let mut options = ddcr_sim::federation::FederationOptions::new(epoch, budget);
+        options.workers = workers;
+        min_wall(profile.repeats(), || {
+            federate::run_segments(
+                &set,
+                schedule.clone(),
+                &split,
+                &routes,
+                &config,
+                &allocation,
+                medium,
+                &options,
+            )
+            .expect("federated run assembles")
+        })
+    };
+    let (serial, serial_wall_ns) = run(1);
+    let (parallel, parallel_wall_ns) = run(SEGMENTS);
+
+    let equivalent = serial.rounds == parallel.rounds
+        && serial.handoffs == parallel.handoffs
+        && serial.segments.len() == parallel.segments.len()
+        && serial
+            .segments
+            .iter()
+            .zip(&parallel.segments)
+            .all(|(a, b)| a.stats == b.stats);
+
+    // N=1 identity (untimed): a one-segment federation of the same
+    // schedule must reproduce the single-bus engine's statistics.
+    let single = multibus::balance_by_load(&set, 1);
+    let reference = network::run(
+        &set,
+        schedule.clone(),
+        &config,
+        &allocation,
+        medium,
+        network::RunLimit::Completion(budget),
+    )
+    .expect("single-bus reference runs");
+    let one_options = ddcr_sim::federation::FederationOptions::new(epoch, budget);
+    let one = federate::run_segments(
+        &set,
+        schedule,
+        &single,
+        &[],
+        &config,
+        &allocation,
+        medium,
+        &one_options,
+    )
+    .expect("one-segment federation runs");
+    let n1_identical =
+        one.completed() && one.segments.len() == 1 && one.segments[0].stats == reference;
+
+    FederationResult {
+        segments: SEGMENTS,
+        participants: PARTICIPANTS,
+        messages,
+        workers: SEGMENTS,
+        host_parallelism: std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get),
+        serial_wall_ns,
+        parallel_wall_ns,
+        equivalent,
+        completed: serial.completed() && parallel.completed(),
+        handoffs: parallel.handoffs,
+        rounds: parallel.rounds,
+        n1_identical,
+        misses: parallel.deadline_misses(),
+    }
+}
+
 /// Measures `EdfQueue` push/pop throughput: interleaved inserts (worst-case
 /// mid-queue positions) followed by a full drain.
 pub fn measure_queue(profile: Profile) -> QueueResult {
@@ -810,6 +981,7 @@ pub fn run_suite(profile: Profile) -> BenchReport {
         contention: measure_contention(profile),
         drains: measure_drains(profile),
         multichannel: measure_multichannel(profile),
+        federation: measure_federation(profile),
         queue: measure_queue(profile),
     }
 }
@@ -976,6 +1148,37 @@ impl BenchReport {
                         "multi_channel_feasible",
                         Json::from(self.multichannel.multi_channel_feasible),
                     ),
+                ]),
+            ),
+            (
+                "federation",
+                Json::object([
+                    ("segments", Json::from(self.federation.segments as u64)),
+                    (
+                        "participants",
+                        Json::from(u64::from(self.federation.participants)),
+                    ),
+                    ("messages", Json::from(self.federation.messages)),
+                    ("workers", Json::from(self.federation.workers as u64)),
+                    (
+                        "host_parallelism",
+                        Json::from(self.federation.host_parallelism as u64),
+                    ),
+                    (
+                        "serial_wall_ns",
+                        Json::from(self.federation.serial_wall_ns),
+                    ),
+                    (
+                        "parallel_wall_ns",
+                        Json::from(self.federation.parallel_wall_ns),
+                    ),
+                    ("speedup", Json::from(self.federation.speedup())),
+                    ("equivalent", Json::from(self.federation.equivalent)),
+                    ("completed", Json::from(self.federation.completed)),
+                    ("handoffs", Json::from(self.federation.handoffs)),
+                    ("rounds", Json::from(self.federation.rounds)),
+                    ("n1_identical", Json::from(self.federation.n1_identical)),
+                    ("misses", Json::from(self.federation.misses)),
                 ]),
             ),
             (
@@ -1211,6 +1414,61 @@ pub fn check_report(doc: &Json) -> Vec<String> {
         }
     }
 
+    match doc.get("federation") {
+        None => fail("missing federation".into()),
+        Some(section) => {
+            match section.get("segments").and_then(Json::as_f64) {
+                Some(s) if s >= 4.0 => {}
+                other => fail(format!("federation.segments must be >= 4, got {other:?}")),
+            }
+            if section.get("equivalent").and_then(Json::as_bool) != Some(true) {
+                fail("federation.equivalent must be true (results depend on worker count)"
+                    .into());
+            }
+            if section.get("completed").and_then(Json::as_bool) != Some(true) {
+                fail("federation did not complete".into());
+            }
+            // The chunked virtual-clock composition is only trusted while
+            // N=1 reproduces the single-bus engine bit for bit.
+            if section.get("n1_identical").and_then(Json::as_bool) != Some(true) {
+                fail("federation.n1_identical must be true \
+                      (one segment must match the single-bus engine)"
+                    .into());
+            }
+            // Without bridge traffic the section measures four unrelated
+            // engines, not a federation.
+            match section.get("handoffs").and_then(Json::as_f64) {
+                Some(h) if h >= 1.0 => {}
+                other => fail(format!(
+                    "federation.handoffs must be >= 1 (no transit traffic bridged), \
+                     got {other:?}"
+                )),
+            }
+            for key in ["serial_wall_ns", "parallel_wall_ns", "host_parallelism", "rounds"] {
+                match section.get(key).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    other => fail(format!("federation.{key} must be > 0, got {other:?}")),
+                }
+            }
+            // Same waiver as multichannel: the wall-clock gate only binds
+            // on hosts that can physically exhibit the speedup.
+            let host = section
+                .get("host_parallelism")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            if host >= MIN_GATED_PARALLELISM as f64 {
+                match section.get("speedup").and_then(Json::as_f64) {
+                    Some(s) if s >= MIN_FEDERATION_SPEEDUP => {}
+                    Some(s) => fail(format!(
+                        "federation.speedup {s:.2} below gate {MIN_FEDERATION_SPEEDUP} \
+                         on a {host}-core host"
+                    )),
+                    None => fail("missing federation.speedup".into()),
+                }
+            }
+        }
+    }
+
     match doc.get("edf_queue").and_then(|q| q.get("ops_per_sec")).and_then(Json::as_f64) {
         Some(v) if v > 0.0 => {}
         other => fail(format!("edf_queue.ops_per_sec must be > 0, got {other:?}")),
@@ -1294,6 +1552,21 @@ mod tests {
                 single_channel_feasible: false,
                 multi_channel_feasible: true,
             },
+            federation: FederationResult {
+                segments: 4,
+                participants: 32,
+                messages: 2_400,
+                workers: 4,
+                host_parallelism: 8,
+                serial_wall_ns: 40_000,
+                parallel_wall_ns: 12_000,
+                equivalent: true,
+                completed: true,
+                handoffs: 12,
+                rounds: 96,
+                n1_identical: true,
+                misses: 0,
+            },
             queue: QueueResult {
                 operations: 40_000,
                 wall_ns: 2_000_000,
@@ -1338,7 +1611,7 @@ mod tests {
 
     #[test]
     fn missing_sections_are_reported() {
-        let doc = Json::parse(r#"{"schema_version": 4}"#).unwrap();
+        let doc = Json::parse(r#"{"schema_version": 5}"#).unwrap();
         let violations = check_report(&doc);
         for needle in [
             "profile",
@@ -1347,6 +1620,7 @@ mod tests {
             "contention_fast_forward",
             "protocol_drain",
             "multichannel",
+            "federation",
             "edf_queue",
         ] {
             assert!(
@@ -1547,6 +1821,61 @@ mod tests {
         assert!(check_report(&doc)
             .iter()
             .any(|v| v.contains("multichannel.misses")));
+    }
+
+    fn edit_federation(doc: &mut Json, key: &str, value: Json) {
+        if let Json::Object(map) = doc {
+            if let Some(Json::Object(section)) = map.get_mut("federation") {
+                section.insert(key.into(), value);
+            }
+        }
+    }
+
+    #[test]
+    fn slow_federation_scaling_fails_gate_on_wide_hosts() {
+        let mut doc = passing_report();
+        edit_federation(&mut doc, "speedup", Json::Number(1.3));
+        let violations = check_report(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("federation.speedup") && v.contains("below gate")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn narrow_host_waives_federation_speedup_but_not_identities() {
+        // The speedup waiver never extends to the determinism identities:
+        // worker-count equivalence and N=1 ≡ single-bus hold on any host.
+        let mut doc = passing_report();
+        edit_federation(&mut doc, "host_parallelism", Json::Number(1.0));
+        edit_federation(&mut doc, "speedup", Json::Number(0.9));
+        assert_eq!(check_report(&doc), Vec::<String>::new());
+        edit_federation(&mut doc, "equivalent", Json::Bool(false));
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("federation.equivalent")));
+    }
+
+    #[test]
+    fn broken_n1_identity_fails_gate() {
+        let mut doc = passing_report();
+        edit_federation(&mut doc, "n1_identical", Json::Bool(false));
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("federation.n1_identical")));
+    }
+
+    #[test]
+    fn bridgeless_federation_fails_gate() {
+        // Zero handoffs would mean the "federation" is four unrelated
+        // engines — no bridge semantics were exercised at all.
+        let mut doc = passing_report();
+        edit_federation(&mut doc, "handoffs", Json::Number(0.0));
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("federation.handoffs")));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 
 use crate::args::{ArgError, Args};
 use ddcr_baseline::QueueDiscipline;
-use ddcr_core::{dimensioning, feasibility, multibus, network, DdcrConfig, StaticAllocation};
+use ddcr_core::{dimensioning, feasibility, federate, multibus, network, DdcrConfig, StaticAllocation};
+use ddcr_sim::federation::{FederationFaultSpec, FederationOptions};
 use ddcr_sim::{
     CollisionMode, Engine, FaultPlan, FaultRates, JsonlSink, MediumConfig, SimMetrics, SourceId,
     Ticks,
@@ -76,6 +77,13 @@ COMMANDS
                  [--corrupt P --erase P --crash P --down SLOTS] [--medium ...]
                  (output and trace are identical for every J; C=1 trace is
                   byte-identical to `ddcr trace`; see docs/MULTICHANNEL.md)
+                 or: --segments N [--epoch-ms E] [same flags, minus
+                 --channels]: federated DDCR — N bridged segments advance
+                 in epoch-aligned rounds on a shared virtual clock, transit
+                 classes handed off at epoch boundaries, scheduled over a
+                 work-stealing pool of J workers (output and trace are
+                 identical for every J; N=1 trace is byte-identical to
+                 `ddcr trace`; see docs/FEDERATION.md)
   check        bounded exhaustive model check of the protocol
                  [--scope small|medium] [--mode destructive|arbitrating]
                  [--membership true [--seed S]]  (interleave seeded
@@ -512,6 +520,8 @@ fn cmd_run(args: &Args) -> Result<String, String> {
         "bits",
         "medium",
         "channels",
+        "segments",
+        "epoch-ms",
         "jobs",
         "horizon-ms",
         "seed",
@@ -522,6 +532,12 @@ fn cmd_run(args: &Args) -> Result<String, String> {
         "down",
     ])
     .map_err(|e| e.to_string())?;
+    if args.get("segments").is_some() {
+        return cmd_run_segments(args);
+    }
+    if args.get("epoch-ms").is_some() {
+        return Err("--epoch-ms only applies to --segments runs".into());
+    }
     let set = set_from(args)?;
     let medium = medium_from(args)?;
     let channels: usize = args.get_or("channels", 2).map_err(|e| e.to_string())?;
@@ -643,6 +659,153 @@ fn cmd_run(args: &Args) -> Result<String, String> {
                 ddcr_sim::TRACE_SCHEMA_VERSION
             } else {
                 ddcr_sim::TRACE_MULTICHANNEL_VERSION
+            }
+        );
+    }
+    let violations = report.xi_violations();
+    if violations == 0 {
+        let _ = writeln!(out, "observed xi within the analytic bound: PASS");
+        Ok(out)
+    } else {
+        let _ = writeln!(
+            out,
+            "observed xi EXCEEDED the analytic bound {violations} time(s)"
+        );
+        Err(out)
+    }
+}
+
+/// `ddcr run --segments N`: the federated sibling of the multichannel
+/// path. N bridged DDCR segments advance in epoch-aligned rounds on a
+/// shared virtual clock; every fourth class transits to the next segment
+/// through a deterministic bridge queue. Stdout and the optional trace
+/// are byte-identical for every `--jobs`.
+fn cmd_run_segments(args: &Args) -> Result<String, String> {
+    if args.get("channels").is_some() {
+        return Err("--segments and --channels are mutually exclusive".into());
+    }
+    let set = set_from(args)?;
+    let medium = medium_from(args)?;
+    let segments: usize = args.get_or("segments", 2).map_err(|e| e.to_string())?;
+    if segments == 0 {
+        return Err("--segments must be at least 1".into());
+    }
+    let jobs: usize = args.get_or("jobs", segments).map_err(|e| e.to_string())?;
+    let horizon_ms: u64 = args.get_or("horizon-ms", 10).map_err(|e| e.to_string())?;
+    let epoch_ms: u64 = args.get_or("epoch-ms", 1).map_err(|e| e.to_string())?;
+    if epoch_ms == 0 {
+        return Err("--epoch-ms must be at least 1".into());
+    }
+    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let (config, allocation) = setup(&set, &medium)?;
+    let assignment = multibus::balance_by_load(&set, segments);
+    let routes = federate::transit_routes(&set, &assignment, 4);
+    let schedule = ScheduleBuilder::peak_load(&set)
+        .build(Ticks(horizon_ms * 1_000_000))
+        .map_err(|e| e.to_string())?;
+    let n = schedule.len();
+
+    let mut options =
+        FederationOptions::new(Ticks(epoch_ms * 1_000_000), Ticks(1_000_000_000_000));
+    options.workers = jobs;
+    options.metrics = true;
+    options.trace = args.get("trace-out").is_some();
+    let faulted = ["corrupt", "erase", "crash", "down"]
+        .iter()
+        .any(|f| args.get(f).is_some());
+    if faulted {
+        let rates = FaultRates {
+            corrupt: args.get_or("corrupt", 0.0).map_err(|e| e.to_string())?,
+            erase: args.get_or("erase", 0.0).map_err(|e| e.to_string())?,
+            crash: args.get_or("crash", 0.0).map_err(|e| e.to_string())?,
+            down_slots: args.get_or("down", 64).map_err(|e| e.to_string())?,
+        };
+        // Same slot-horizon rule as the multichannel path: over-cover the
+        // arrival horizon, doubled for the drain tail.
+        let horizon_slots = 2 * horizon_ms * 1_000_000 / medium.slot_ticks.max(1);
+        options.faults = Some(FederationFaultSpec {
+            master_seed: seed,
+            rates,
+            horizon_slots,
+        });
+    }
+    let report = federate::run_segments(
+        &set,
+        schedule,
+        &assignment,
+        &routes,
+        &config,
+        &allocation,
+        medium,
+        &options,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Deterministic stdout: no wall-clock and no worker count, so the
+    // output is byte-identical for every `--jobs`.
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} sources over {segments} segment(s), epoch {epoch_ms} ms, load {:.3}, c = {}, \
+         {} bridged class(es)",
+        set.sources(),
+        set.offered_load(),
+        config.class_width,
+        routes.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>9} {:>8} {:>9} {:>7} {:>11} {:>7} {:>7}",
+        "segment", "scheduled", "injected", "delivered", "misses", "xi_violate", "faults",
+        "drained"
+    );
+    for outcome in &report.segments {
+        let violations = outcome
+            .metrics
+            .as_ref()
+            .map_or(0, |m| m.violations_total);
+        let _ = writeln!(
+            out,
+            "{:>7} {:>9} {:>8} {:>9} {:>7} {:>11} {:>7} {:>7}",
+            outcome.segment,
+            outcome.scheduled,
+            outcome.injected,
+            outcome.stats.delivered,
+            outcome.stats.missed_deadlines,
+            violations,
+            outcome.fault_events,
+            outcome.completed
+        );
+    }
+    let _ = writeln!(
+        out,
+        "fabric: scheduled {n}, delivered {}, handoffs {} over {} round(s), misses {}, \
+         drained {}",
+        report.delivered(),
+        report.handoffs,
+        report.rounds,
+        report.deadline_misses(),
+        report.completed()
+    );
+    if let Some(path) = args.get("trace-out") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let events = report
+            .write_trace(&mut writer)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        use std::io::Write as _;
+        writer
+            .flush()
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "wrote {events} events ({} v{}) to {path}",
+            ddcr_sim::TRACE_SCHEMA,
+            if segments == 1 {
+                ddcr_sim::TRACE_SCHEMA_VERSION
+            } else {
+                ddcr_sim::TRACE_FEDERATION_VERSION
             }
         );
     }
@@ -1346,6 +1509,125 @@ mod tests {
         assert!(a.contains("fabric:"), "{a}");
         assert_eq!(a, line(), "faulted multichannel run must replay by seed");
         assert!(run_line(&["run", "--scenario", "uniform", "--sources", "2", "--channels", "0"]).is_err());
+    }
+
+    #[test]
+    fn run_segments_is_jobs_invariant() {
+        let dir = std::env::temp_dir().join("ddcr_cli_run_segments_jobs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let line = |jobs: &str, trace: &std::path::Path| {
+            run_line(&[
+                "run",
+                "--scenario",
+                "video",
+                "--sources",
+                "8",
+                "--segments",
+                "3",
+                "--medium",
+                "gigabit",
+                "--horizon-ms",
+                "4",
+                "--jobs",
+                jobs,
+                "--trace-out",
+                trace.to_str().unwrap(),
+            ])
+            .unwrap()
+        };
+        let t1 = dir.join("jobs1.jsonl");
+        let t8 = dir.join("jobs8.jsonl");
+        let one = line("1", &t1);
+        let eight = line("8", &t8);
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("wrote"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one), strip(&eight));
+        assert!(one.contains("segment"), "{one}");
+        assert!(one.contains("handoffs"), "{one}");
+        assert!(one.contains("PASS"), "{one}");
+        let bytes1 = std::fs::read(&t1).unwrap();
+        let bytes8 = std::fs::read(&t8).unwrap();
+        assert!(!bytes1.is_empty());
+        assert_eq!(bytes1, bytes8, "trace must be identical for every --jobs");
+        let header = String::from_utf8(bytes1).unwrap();
+        assert_eq!(
+            header.lines().next().unwrap(),
+            "{\"schema\":\"ddcr-trace\",\"version\":3,\"segments\":3}"
+        );
+    }
+
+    #[test]
+    fn run_single_segment_trace_matches_trace_command() {
+        let dir = std::env::temp_dir().join("ddcr_cli_run_n1_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_path = dir.join("run_n1.jsonl");
+        let trace_path = dir.join("trace.jsonl");
+        let common = [
+            "--scenario",
+            "uniform",
+            "--sources",
+            "4",
+            "--load",
+            "0.2",
+            "--horizon-ms",
+            "4",
+        ];
+        let mut run_args = vec!["run", "--segments", "1", "--trace-out", run_path.to_str().unwrap()];
+        run_args.extend_from_slice(&common);
+        run_line(&run_args).unwrap();
+        let mut trace_args = vec!["trace", "--out", trace_path.to_str().unwrap()];
+        trace_args.extend_from_slice(&common);
+        run_line(&trace_args).unwrap();
+        let from_run = std::fs::read(&run_path).unwrap();
+        let from_trace = std::fs::read(&trace_path).unwrap();
+        assert!(!from_run.is_empty());
+        assert_eq!(
+            from_run, from_trace,
+            "N=1 federation trace must be byte-identical to the single-bus export"
+        );
+    }
+
+    #[test]
+    fn run_segments_faults_replay_by_seed_and_flags_validate() {
+        let line = || {
+            run_line(&[
+                "run",
+                "--scenario",
+                "uniform",
+                "--sources",
+                "4",
+                "--load",
+                "0.2",
+                "--segments",
+                "2",
+                "--horizon-ms",
+                "4",
+                "--seed",
+                "9",
+                "--corrupt",
+                "0.01",
+                "--erase",
+                "0.01",
+            ])
+            .unwrap()
+        };
+        let a = line();
+        assert!(a.contains("fabric:"), "{a}");
+        assert_eq!(a, line(), "faulted federation run must replay by seed");
+        let base = ["run", "--scenario", "uniform", "--sources", "2"];
+        let mut zero = base.to_vec();
+        zero.extend_from_slice(&["--segments", "0"]);
+        assert!(run_line(&zero).is_err());
+        let mut both = base.to_vec();
+        both.extend_from_slice(&["--segments", "2", "--channels", "2"]);
+        assert!(run_line(&both).is_err());
+        let mut epoch = base.to_vec();
+        epoch.extend_from_slice(&["--channels", "2", "--epoch-ms", "1"]);
+        assert!(run_line(&epoch).is_err());
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   for a provably feasible configuration (the "essential tool" of §2.2);
 //! * [`multibus`] — parallel broadcast media with class→bus partitioning
 //!   ("many such media can be used in parallel", §3.1);
+//! * [`federate`] — chained broadcast segments behind deterministic
+//!   bridges, advancing in epoch-aligned rounds on a shared virtual
+//!   clock;
 //! * [`network`] — one-call assembly of a simulated DDCR network over
 //!   [`ddcr_sim`].
 //!
@@ -55,6 +58,7 @@ pub mod dimensioning;
 mod edf;
 mod error;
 pub mod feasibility;
+pub mod federate;
 mod indices;
 pub mod inversions;
 pub mod membership;

@@ -137,16 +137,23 @@ impl MediumConfig {
         match frames {
             [] => (Observation::Silence, Ticks(self.slot_ticks)),
             [frame] => (Observation::Busy(*frame), frame.duration()),
-            _ => match self.collision_mode {
+            [first, rest @ ..] => match self.collision_mode {
                 CollisionMode::Destructive => (
                     Observation::Collision { survivor: None },
                     Ticks(self.slot_ticks),
                 ),
                 CollisionMode::Arbitrating => {
-                    let winner = *frames
-                        .iter()
-                        .min_by_key(|f| f.message.source)
-                        .expect("non-empty");
+                    // The slice pattern supplies a witness frame, so picking
+                    // the arbitration winner cannot fail. Strict `<` keeps
+                    // the first minimum on source ties, matching
+                    // `Iterator::min_by_key`.
+                    let winner = *rest.iter().fold(first, |best, f| {
+                        if f.message.source < best.message.source {
+                            f
+                        } else {
+                            best
+                        }
+                    });
                     (
                         Observation::Collision {
                             survivor: Some(winner),
@@ -220,6 +227,49 @@ mod tests {
         assert_eq!(
             MediumConfig::atm_internal_bus().collision_mode,
             CollisionMode::Arbitrating
+        );
+    }
+
+    /// Regression for the panic-sweep restructure: the arbitration winner
+    /// is now picked by a fold over a slice-pattern witness instead of
+    /// `min_by_key(..).expect(..)`. Pin the tie-break (first minimum wins,
+    /// exactly like `min_by_key`) and larger contender counts.
+    #[test]
+    fn arbitration_fold_keeps_min_by_key_tie_break() {
+        use crate::message::{ClassId, Message, MessageId, SourceId};
+        let mk = |id: u64, source: u32, bits: u64| {
+            Frame::new(
+                Message {
+                    id: MessageId(id),
+                    source: SourceId(source),
+                    class: ClassId(0),
+                    bits,
+                    arrival: Ticks(0),
+                    deadline: Ticks(10_000),
+                },
+                bits + 208,
+            )
+        };
+        let atm = MediumConfig::atm_internal_bus();
+        // Two frames from the same source id: the first submitted wins.
+        let frames = [mk(10, 4, 100), mk(11, 4, 900), mk(12, 9, 100)];
+        let (obs, held) = atm.resolve(&frames);
+        assert_eq!(
+            obs,
+            Observation::Collision {
+                survivor: Some(frames[0])
+            }
+        );
+        assert_eq!(held, frames[0].duration());
+        // A wide slate: the unique minimum wins regardless of position.
+        let wide: Vec<Frame> = (0..12u32).map(|s| mk(u64::from(s), 11 - s, 64)).collect();
+        let (obs, _) = atm.resolve(&wide);
+        assert_eq!(
+            obs,
+            Observation::Collision {
+                survivor: Some(wide[11])
+            },
+            "source 0 sits last in the slate and must still win"
         );
     }
 

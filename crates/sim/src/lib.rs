@@ -35,6 +35,7 @@
 mod channel;
 mod engine;
 mod fault;
+pub mod federation;
 mod membership;
 mod message;
 mod metrics;
@@ -57,8 +58,8 @@ pub use station::{AttemptCycleHint, HoldHint, SearchHint, SearchSlotRecord, Stat
 pub use stats::{ChannelStats, QuantileError};
 pub use time::Ticks;
 pub use trace::{
-    multichannel_header, schema_header, JsonlSink, Trace, TraceEvent,
-    TRACE_MULTICHANNEL_VERSION, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
+    federation_header, multichannel_header, schema_header, JsonlSink, Trace, TraceEvent,
+    TRACE_FEDERATION_VERSION, TRACE_MULTICHANNEL_VERSION, TRACE_SCHEMA, TRACE_SCHEMA_VERSION,
 };
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! Everything here is O(1) per slot and allocation-free on the hot path, so
 //! metrics can stay on for the ROADMAP's "as fast as hardware allows" runs.
 
+use crate::stats::QuantileError;
 use crate::time::Ticks;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -92,12 +93,18 @@ impl LatencyHistogram {
     }
 
     /// Nearest-rank quantile, rounded up to the containing bucket's upper
-    /// bound. `q` outside `[0, 1]` is clamped; an empty histogram yields 0.
+    /// bound, with degenerate inputs clamped: `q` outside `[0, 1]` clamps
+    /// to the nearest endpoint, NaN is treated as `q = 1.0` (the
+    /// conservative upper tail — previously NaN slipped through `clamp`
+    /// and the `as u64` cast silently saturated it to rank 1), and an
+    /// empty histogram yields 0. Callers fed an untrusted `q` should
+    /// prefer [`LatencyHistogram::try_quantile`], which rejects degenerate
+    /// inputs with a typed error instead of clamping.
     pub fn quantile(&self, q: f64) -> Ticks {
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
         if self.total == 0 {
             return Ticks::ZERO;
         }
-        let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (i, &count) in self.counts.iter().enumerate() {
@@ -107,6 +114,21 @@ impl LatencyHistogram {
             }
         }
         Ticks(Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Nearest-rank quantile like [`LatencyHistogram::quantile`], but
+    /// rejecting degenerate `q` (NaN or outside `[0, 1]`) with a typed
+    /// [`QuantileError`] instead of clamping, for callers fed an
+    /// untrusted quantile (CLI flags, sweep configs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantileError`] when `q` is NaN or outside `[0, 1]`.
+    pub fn try_quantile(&self, q: f64) -> Result<Ticks, QuantileError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(QuantileError { q });
+        }
+        Ok(self.quantile(q))
     }
 
     /// Median, 95th and 99th percentile (bucket upper bounds).
@@ -699,6 +721,55 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.5), Ticks::ZERO);
         assert_eq!(h.percentiles(), (Ticks::ZERO, Ticks::ZERO, Ticks::ZERO));
+    }
+
+    /// Pins the documented clamp at every degenerate corner: q ∈
+    /// {0.0, 1.0, NaN, out-of-range} × total ∈ {0, 1}. NaN must act as
+    /// the conservative upper tail, never silently saturate to rank 1.
+    #[test]
+    fn quantile_degenerate_inputs_are_clamped_deterministically() {
+        let empty = LatencyHistogram::default();
+        for q in [0.0, 1.0, f64::NAN, -3.5, 7.0] {
+            assert_eq!(empty.quantile(q), Ticks::ZERO, "empty, q={q}");
+        }
+
+        let mut one = LatencyHistogram::default();
+        one.record(Ticks(100)); // bucket 7, upper bound 127
+        let expected = Ticks(LatencyHistogram::bucket_upper_bound(
+            LatencyHistogram::bucket_index(100),
+        ));
+        for q in [0.0, 1.0, f64::NAN, -3.5, 7.0] {
+            assert_eq!(one.quantile(q), expected, "total=1, q={q}");
+        }
+
+        // With a populated histogram the clamp direction is observable:
+        // q ≤ 0 pins the lowest bucket, q ≥ 1 and NaN pin the highest.
+        let mut two = LatencyHistogram::default();
+        two.record(Ticks(0));
+        two.record(Ticks(1_000_000));
+        let low = two.quantile(0.0);
+        let high = two.quantile(1.0);
+        assert!(low < high);
+        assert_eq!(two.quantile(-1.0), low);
+        assert_eq!(two.quantile(2.0), high);
+        assert_eq!(two.quantile(f64::NAN), high, "NaN must clamp to the tail");
+    }
+
+    #[test]
+    fn try_quantile_rejects_degenerate_q_with_typed_error() {
+        let mut h = LatencyHistogram::default();
+        h.record(Ticks(5));
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = h.try_quantile(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("quantile must be in [0, 1]"),
+                "unexpected error text: {err}"
+            );
+        }
+        assert_eq!(h.try_quantile(0.0), Ok(h.quantile(0.0)));
+        assert_eq!(h.try_quantile(1.0), Ok(h.quantile(1.0)));
+        // The empty histogram still accepts in-range q.
+        assert_eq!(LatencyHistogram::default().try_quantile(0.5), Ok(Ticks::ZERO));
     }
 
     fn tts(epoch: u64) -> Option<PhaseHint> {

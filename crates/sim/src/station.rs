@@ -105,7 +105,11 @@ pub struct SearchSlotRecord {
 ///
 /// Implementations must be deterministic functions of their inputs (plus
 /// any seeded RNG they own) so that simulations are reproducible.
-pub trait Station {
+///
+/// `Send` is a supertrait so whole engines can migrate between worker
+/// threads across federation rounds (see [`crate::federation`]); station
+/// state is plain data for every in-tree protocol, so this costs nothing.
+pub trait Station: Send {
     /// Accepts a newly arrived message into the local queue. Implementations
     /// must enqueue the message (never drop it on arrival) so the engine's
     /// backlog accounting stays exact.

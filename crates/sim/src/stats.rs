@@ -332,6 +332,32 @@ mod tests {
         assert_eq!(s.latency_quantile(1.0), Ok(Ticks(150)));
     }
 
+    /// Pins the q ∈ {0.0, 1.0, NaN} × total ∈ {0, 1} matrix: boundary
+    /// quantiles are exact at every population, NaN is always a typed
+    /// error (never a silently saturated rank).
+    #[test]
+    fn quantile_boundary_matrix_total_zero_and_one() {
+        let empty = ChannelStats::default();
+        assert_eq!(empty.latency_quantile(0.0), Ok(Ticks::ZERO));
+        assert_eq!(empty.latency_quantile(1.0), Ok(Ticks::ZERO));
+        assert!(empty.latency_quantile(f64::NAN).unwrap_err().q.is_nan());
+
+        let mut one = ChannelStats::default();
+        one.push_delivery(delivery(0, 0, 0, 100, 42)); // single delivery, latency 42
+        assert_eq!(one.latency_quantile(0.0), Ok(Ticks(42)));
+        assert_eq!(one.latency_quantile(0.5), Ok(Ticks(42)));
+        assert_eq!(one.latency_quantile(1.0), Ok(Ticks(42)));
+        let err = one.latency_quantile(f64::NAN).unwrap_err();
+        assert!(err.q.is_nan());
+        // The always-on histogram mirror agrees at the same corners.
+        assert!(one.latency_histogram.try_quantile(f64::NAN).is_err());
+        assert_eq!(
+            one.latency_histogram.quantile(0.0),
+            one.latency_histogram.quantile(1.0),
+            "total=1: every clamped quantile reads the one bucket"
+        );
+    }
+
     #[test]
     fn empty_stats_are_sane() {
         let s = ChannelStats::default();

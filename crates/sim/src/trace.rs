@@ -184,6 +184,10 @@ pub const TRACE_SCHEMA_VERSION: u32 = 1;
 /// as version 1, each prefixed with a `"channel"` field, under a header
 /// that also carries the channel count.
 pub const TRACE_MULTICHANNEL_VERSION: u32 = 2;
+/// Version of the merged federation JSONL trace schema: same event lines
+/// as version 1, each prefixed with a `"segment"` field, under a header
+/// that also carries the segment count.
+pub const TRACE_FEDERATION_VERSION: u32 = 3;
 
 /// The single-channel schema header line (trailing newline included) —
 /// what [`JsonlSink::new`] emits first.
@@ -202,6 +206,16 @@ pub fn multichannel_header(channels: usize) -> String {
     )
 }
 
+/// The merged federation schema header line (trailing newline included),
+/// announcing how many segments' event streams follow.
+#[must_use]
+pub fn federation_header(segments: usize) -> String {
+    format!(
+        "{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{TRACE_FEDERATION_VERSION}\
+         ,\"segments\":{segments}}}\n"
+    )
+}
+
 /// A streaming JSONL sink for channel traces.
 ///
 /// Unlike the bounded in-memory [`Trace`], a sink writes every event as one
@@ -215,7 +229,7 @@ pub fn multichannel_header(channels: usize) -> String {
 /// I/O errors are latched: the first failure is kept and reported by
 /// [`JsonlSink::finish`]; later writes become no-ops.
 pub struct JsonlSink {
-    writer: Box<dyn Write>,
+    writer: Box<dyn Write + Send>,
     error: Option<io::Error>,
     events: u64,
 }
@@ -231,7 +245,7 @@ impl std::fmt::Debug for JsonlSink {
 
 impl JsonlSink {
     /// Wraps a writer and emits the schema header line.
-    pub fn new(writer: Box<dyn Write>) -> Self {
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
         let mut sink = JsonlSink::headerless(writer);
         sink.write_line(&schema_header());
         sink
@@ -242,7 +256,7 @@ impl JsonlSink {
     /// The multichannel runner buffers each channel's event lines through a
     /// headerless sink and writes one merged, channel-tagged document (with
     /// a single [`multichannel_header`]) itself.
-    pub fn headerless(writer: Box<dyn Write>) -> Self {
+    pub fn headerless(writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
             writer,
             error: None,
@@ -422,12 +436,19 @@ mod tests {
     }
 
     /// A `Write` implementation over a shared buffer, so tests can inspect
-    /// what a consumed sink wrote.
-    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+    /// what a consumed sink wrote (Arc/Mutex because sink writers are
+    /// `Send` — engines migrate between federation worker threads).
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(buf: &std::sync::Arc<std::sync::Mutex<Vec<u8>>>) -> Vec<u8> {
+            buf.lock().unwrap().clone()
+        }
+    }
 
     impl Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> io::Result<()> {
@@ -437,7 +458,7 @@ mod tests {
 
     #[test]
     fn jsonl_sink_writes_header_and_event_lines() {
-        let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut sink = JsonlSink::new(Box::new(SharedBuf(buf.clone())));
         sink.record(&TraceEvent::Silence { at: Ticks(0) });
         sink.record(&TraceEvent::Collision { at: Ticks(512), survivor: None });
@@ -450,7 +471,7 @@ mod tests {
         sink.record(&TraceEvent::Garbled { at: Ticks(2048), message: MessageId(8) });
         assert_eq!(sink.events_written(), 6);
         assert_eq!(sink.finish().unwrap(), 6);
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let text = String::from_utf8(SharedBuf::contents(&buf)).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "{\"schema\":\"ddcr-trace\",\"version\":1}");
         assert_eq!(lines[1], "{\"at\":0,\"event\":\"silence\"}");
@@ -463,22 +484,22 @@ mod tests {
 
     #[test]
     fn headerless_sink_writes_event_lines_only() {
-        let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut sink = JsonlSink::headerless(Box::new(SharedBuf(buf.clone())));
         sink.record(&TraceEvent::Silence { at: Ticks(0) });
         assert_eq!(sink.finish().unwrap(), 1);
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let text = String::from_utf8(SharedBuf::contents(&buf)).unwrap();
         assert_eq!(text, "{\"at\":0,\"event\":\"silence\"}\n");
     }
 
     #[test]
     fn jsonl_sink_writes_membership_lines() {
-        let buf = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut sink = JsonlSink::headerless(Box::new(SharedBuf(buf.clone())));
         sink.record(&TraceEvent::Left { at: Ticks(512), station: 3 });
         sink.record(&TraceEvent::Joined { at: Ticks(4096), station: 3 });
         assert_eq!(sink.finish().unwrap(), 2);
-        let text = String::from_utf8(buf.borrow().clone()).unwrap();
+        let text = String::from_utf8(SharedBuf::contents(&buf)).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], "{\"at\":512,\"event\":\"left\",\"station\":3}");
         assert_eq!(lines[1], "{\"at\":4096,\"event\":\"joined\",\"station\":3}");
