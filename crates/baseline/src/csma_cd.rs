@@ -10,7 +10,7 @@
 
 use crate::queue::{LocalQueue, QueueDiscipline};
 use ddcr_sim::rng::{derive_seed, seeded_rng};
-use ddcr_sim::{Action, Frame, HoldHint, Message, Observation, SourceId, Station, Ticks};
+use ddcr_sim::{Action, Frame, HoldHint, Message, Observation, SourceId, Station, Ticks, WakeHint};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -219,6 +219,18 @@ impl Station for CsmaCdStation {
 
     fn label(&self) -> String {
         format!("csma-cd:{}", self.source)
+    }
+
+    fn wake_hint(&self) -> WakeHint {
+        // With an empty queue the station can only be woken by `deliver`:
+        // poll() returns Idle regardless of backoff, and every observation
+        // merely decrements the backoff counter — which the batched
+        // `observe`/`skip_silence`/`skip_busy` catch-up replays exactly.
+        if self.queue.is_empty() {
+            WakeHint::Dormant
+        } else {
+            WakeHint::Active
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 //! latency any distributed MAC can achieve on the same workload, so
 //! experiment E8 uses it as the floor of the comparison.
 
-use ddcr_sim::{Action, Frame, HoldHint, Message, Observation, SourceId, Station, Ticks};
+use ddcr_sim::{Action, Frame, HoldHint, Message, Observation, SourceId, Station, Ticks, WakeHint};
 use std::collections::VecDeque;
 
 /// The centralized NP-EDF oracle: one [`Station`] that owns every queue.
@@ -146,6 +146,18 @@ impl Station for NpEdfOracle {
 
     fn label(&self) -> String {
         "np-edf-oracle".to_owned()
+    }
+
+    fn wake_hint(&self) -> WakeHint {
+        // With an empty queue the oracle is inert until the next `deliver`:
+        // poll() is Idle and `observe` only ever pops this queue's own head
+        // (impossible while empty), so the batched catch-up is trivially
+        // exact.
+        if self.queue.is_empty() {
+            WakeHint::Dormant
+        } else {
+            WakeHint::Active
+        }
     }
 }
 

@@ -9,7 +9,9 @@
 //! it does not (missing file, malformed JSON, schema mismatch, idle
 //! speedup below the 2x floor, loaded speedup below the 5x floor at load
 //! 0.5 or 0.8 on >= 32 stations, a contention fast-forward section that
-//! diverged or whose tier never engaged, divergent fast/reference
+//! diverged or whose tier never engaged, a station-scale section that
+//! diverged, failed to complete, or scaled below the 5x floor at >= 2048
+//! stations, divergent fast/reference
 //! statistics, incomplete drains, a multichannel section that diverged
 //! across worker counts, missed deadlines, lost its pinned capacity win,
 //! or — on hosts with >= 4 cores — scaled below the 2x floor, and a
@@ -72,6 +74,17 @@ fn main() {
             .and_then(|c| c.get("speedup"))
             .and_then(Json::as_f64)
             .unwrap_or(f64::NAN);
+        // Headline the largest station-scale grid point.
+        let (scale_stations, scale_speedup) = doc
+            .get("station_scale")
+            .and_then(Json::as_array)
+            .and_then(|entries| entries.last())
+            .map_or((f64::NAN, f64::NAN), |e| {
+                (
+                    e.get("stations").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                    e.get("speedup").and_then(Json::as_f64).unwrap_or(f64::NAN),
+                )
+            });
         let multichannel = doc.get("multichannel");
         let multichannel_speedup = multichannel
             .and_then(|m| m.get("speedup"))
@@ -94,6 +107,7 @@ fn main() {
             "bench_check: PASS ({path}; idle fast-forward {idle_speedup:.1}x, \
              loaded fast-forward {loaded_speedup:.1}x @0.5 / {high_load_speedup:.1}x @0.8, \
              contention tier {contention_speedup:.1}x, \
+             active set {scale_speedup:.1}x at {scale_stations:.0} stations, \
              multichannel {multichannel_speedup:.1}x on {host:.0} cores, \
              federation {federation_speedup:.1}x with {handoffs:.0} handoffs)"
         );

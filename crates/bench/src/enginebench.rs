@@ -6,14 +6,14 @@
 //!
 //! 1. **Idle fast-forward** — an idle-heavy scenario (low load, ≥ 32
 //!    stations) run through the optimized engine and through the retained
-//!    reference stepper (`set_fast_forward(false)`, the pre-overhaul slot
-//!    loop). Reports slot throughput for both and their ratio; the gate
-//!    requires the speedup to be ≥ 2× and the two runs to produce
-//!    identical [`ChannelStats`].
+//!    reference stepper (fast-forward and the active-set scheduler both
+//!    off, the pre-overhaul poll-everyone slot loop). Reports slot
+//!    throughput for both and their ratio; the gate requires the speedup
+//!    to be ≥ 2× and the two runs to produce identical [`ChannelStats`].
 //! 2. **Loaded fast-forward** — a busy-heavy scenario (clustered
 //!    small-message arrivals draining through bursting DDCR) run with all
-//!    three fast-forward switches on versus the full reference stepper
-//!    (idle + busy + contention skipping all disabled), across a
+//!    three fast-forward switches plus the active-set scheduler on versus
+//!    the full reference stepper (all four disabled), across a
 //!    stations × load grid. The gate requires ≥ 5× at load 0.5 **and** at
 //!    load 0.8 on the ≥ 32-station scenario and identical statistics
 //!    everywhere.
@@ -26,8 +26,16 @@
 //! 4. **Protocol drain** — DDCR, CSMA-CD and NP-EDF draining the same
 //!    workload at several station counts and loads; reports simulated
 //!    ticks per wall-clock second.
-//! 5. **EDF queue ops** — `EdfQueue` push/pop throughput at benchmark
-//!    scale (exercises the `O(log n)` binary-insert path).
+//! 5. **Station scale** — a sparse DDCR workload (one backlogged station
+//!    at a time) swept across station counts 64→4096, run with the
+//!    active-set scheduler on versus off while all three fast-forward
+//!    tiers stay on in both runs, isolating the fourth tier's
+//!    contribution. The gate requires ≥ 5× wall-clock at n ≥ 2048 and
+//!    identical statistics at every grid point; the report also carries
+//!    the poll-count telemetry (`polls` / `station_slots`) showing the
+//!    tier visits only contenders.
+//! 6. **EDF queue ops** — `EdfQueue` push/pop throughput at benchmark
+//!    scale (exercises the `O(log n)` binary-heap path).
 //!
 //! All wall-clock numbers are single-machine and profile-dependent; the
 //! deterministic fields (`slots`, `delivered`, `equivalent`) are exact.
@@ -53,7 +61,11 @@ use std::time::Instant;
 /// scaling on the work-stealing pool — worker-count equivalence and N=1 ≡
 /// single-bus enforced everywhere, wall-clock speedup gated on hosts with
 /// ≥ [`MIN_GATED_PARALLELISM`] cores.
-pub const SCHEMA_VERSION: u64 = 5;
+/// Version 6 added the `station_scale` section: the active-set scheduler
+/// swept across station counts on a sparse workload, gated ≥
+/// [`MIN_STATION_SCALE_SPEEDUP`]× at n ≥ [`STATION_SCALE_GATED_AT`] with
+/// equivalence and completion enforced at every grid point.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Default report location (relative to the workspace root, like
 /// `results/`).
@@ -90,6 +102,18 @@ pub const MIN_GATED_PARALLELISM: u64 = 4;
 /// multichannel gate; equivalence, completion, bridge traffic, and the
 /// N=1 ≡ single-bus identity are enforced on every host.
 pub const MIN_FEDERATION_SPEEDUP: f64 = 2.0;
+
+/// Gate threshold: with the active-set scheduler on, the engine must
+/// clear at least this wall-clock multiple over the active-set-off engine
+/// (all three fast-forward tiers held on in both runs) on the sparse
+/// station-scale sweep, at every grid point with at least
+/// [`STATION_SCALE_GATED_AT`] stations.
+pub const MIN_STATION_SCALE_SPEEDUP: f64 = 5.0;
+
+/// Station count at and above which the station-scale wall-clock gate
+/// binds. Below it the speedup is informational: the O(n) cost the tier
+/// removes is too small to dominate wall clock at modest populations.
+pub const STATION_SCALE_GATED_AT: u64 = 2048;
 
 /// How much work the suite does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,6 +212,24 @@ impl Profile {
         match self {
             Profile::Smoke => 20_000,
             Profile::Full => 200_000,
+        }
+    }
+
+    /// Station counts for the active-set station-scale sweep. Always
+    /// includes the gated [`STATION_SCALE_GATED_AT`] point.
+    fn station_scale_grid(self) -> Vec<u32> {
+        match self {
+            Profile::Smoke => vec![64, 512, 2048],
+            Profile::Full => vec![64, 256, 1024, 2048, 4096],
+        }
+    }
+
+    /// Messages per station in the station-scale sweep (the per-station
+    /// load is fixed; the population is what sweeps).
+    fn station_scale_rounds(self) -> u64 {
+        match self {
+            Profile::Smoke => 2,
+            Profile::Full => 4,
         }
     }
 
@@ -337,6 +379,45 @@ pub struct DrainResult {
     pub completed: bool,
 }
 
+/// Result of one station-scale measurement (sparse DDCR workload with one
+/// backlogged station at a time, active-set scheduler on vs off with all
+/// three fast-forward tiers held on in both runs — the speedup isolates
+/// the fourth tier's contribution).
+#[derive(Debug, Clone)]
+pub struct StationScaleResult {
+    /// Stations on the channel.
+    pub stations: u32,
+    /// Messages scheduled (all delivered when `completed`).
+    pub messages: u64,
+    /// Decision slots the run resolves (identical in both runs).
+    pub slots: u64,
+    /// Active-set-on wall time (min over repeats), nanoseconds.
+    pub active_wall_ns: u64,
+    /// Active-set-off wall time (min over repeats), nanoseconds.
+    pub baseline_wall_ns: u64,
+    /// Whether the two runs produced identical statistics.
+    pub equivalent: bool,
+    /// Whether both runs drained the workload inside the budget.
+    pub completed: bool,
+    /// `poll()` calls the active-set run issued (telemetry proof the
+    /// tier visits only contenders).
+    pub polls: u64,
+    /// Decision slots × population — what a naive stepper would poll.
+    pub station_slots: u64,
+}
+
+impl StationScaleResult {
+    /// Active-set-off-over-on wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_wall_ns as f64 / self.active_wall_ns.max(1) as f64
+    }
+
+    /// Fraction of station-slots the active-set run actually polled.
+    pub fn poll_fraction(&self) -> f64 {
+        self.polls as f64 / self.station_slots.max(1) as f64
+    }
+}
+
 /// Result of the multichannel scaling measurement: a saturated
 /// 4-channel videoconference fabric run serially (1 worker) and on the
 /// full worker pool, plus the §3.1 capacity facts the gate pins.
@@ -453,6 +534,8 @@ pub struct BenchReport {
     pub contention: ContentionResult,
     /// Protocol drain grid.
     pub drains: Vec<DrainResult>,
+    /// Active-set station-scale sweep.
+    pub station_scale: Vec<StationScaleResult>,
     /// Multichannel scaling and capacity measurement.
     pub multichannel: MultichannelResult,
     /// Federated-segment scaling measurement.
@@ -504,6 +587,7 @@ fn run_idle(
     let mut engine =
         network::build_engine(set, &config, &allocation, medium).expect("engine assembly");
     engine.set_fast_forward(fast_forward);
+    engine.set_active_set(fast_forward);
     engine.add_arrivals(schedule.to_vec()).expect("arrivals route");
     engine.run_until(horizon);
     engine.into_stats()
@@ -593,6 +677,7 @@ pub fn run_loaded(
     engine.set_fast_forward(optimized);
     engine.set_busy_fast_forward(optimized);
     engine.set_contention_fast_forward(optimized);
+    engine.set_active_set(optimized);
     engine.set_retention(Some(0), Some(0));
     engine.add_arrivals(schedule.to_vec()).expect("arrivals route");
     let completed = engine.run_to_completion(Ticks(40_000_000_000)).is_ok();
@@ -759,6 +844,90 @@ pub fn measure_drains(profile: Profile) -> Vec<DrainResult> {
                 completed: summary.completed,
             });
         }
+    }
+    out
+}
+
+/// Sparse workload for the station-scale sweep: `rounds` messages per
+/// station, arrivals staggered `GAP` ticks apart so at most one or two
+/// stations are ever backlogged — the regime where the active-set
+/// scheduler parks nearly the whole population between a station's own
+/// arrivals. Every station still wakes for each of its deliveries, so the
+/// sweep exercises park/wake churn, not just a static active subset.
+pub fn station_scale_workload(stations: u32, rounds: u64) -> (MessageSet, Vec<Message>) {
+    const BITS: u64 = 4_000;
+    const GAP: u64 = 20_000;
+    let set = scenario::uniform(stations, BITS, Ticks(5_000_000), 0.1)
+        .expect("station-scale scenario is valid");
+    let mut schedule = Vec::new();
+    for r in 0..rounds {
+        for s in 0..stations {
+            schedule.push(Message {
+                id: MessageId(schedule.len() as u64),
+                source: SourceId(s),
+                class: ClassId(0),
+                bits: BITS,
+                arrival: Ticks((r * u64::from(stations) + u64::from(s)) * GAP),
+                deadline: Ticks(100_000_000),
+            });
+        }
+    }
+    (set, schedule)
+}
+
+/// One station-scale run: non-bursting DDCR over `schedule` with all
+/// three fast-forward tiers on and the active-set scheduler toggled.
+/// Returns the final statistics, completion, `poll()` count, and decision
+/// slots resolved.
+pub fn run_station_scale(
+    set: &MessageSet,
+    schedule: &[Message],
+    medium: MediumConfig,
+    active_set: bool,
+) -> (ChannelStats, bool, u64, u64) {
+    let config = default_ddcr_config(set, &medium);
+    let allocation = StaticAllocation::round_robin(config.static_tree, set.sources())
+        .expect("round robin allocation");
+    let mut engine =
+        network::build_engine(set, &config, &allocation, medium).expect("engine assembly");
+    engine.set_fast_forward(true);
+    engine.set_busy_fast_forward(true);
+    engine.set_contention_fast_forward(true);
+    engine.set_active_set(active_set);
+    engine.add_arrivals(schedule.to_vec()).expect("arrivals route");
+    let completed = engine.run_to_completion(Ticks(40_000_000_000)).is_ok();
+    let polls = engine.poll_count();
+    let slots = engine.slot_ordinal();
+    (engine.into_stats(), completed, polls, slots)
+}
+
+/// Measures the active-set station-scale sweep: the sparse workload at
+/// each grid population, active-set on vs off.
+pub fn measure_station_scale(profile: Profile) -> Vec<StationScaleResult> {
+    let medium = MediumConfig::ethernet();
+    let rounds = profile.station_scale_rounds();
+    let mut out = Vec::new();
+    for stations in profile.station_scale_grid() {
+        let (set, schedule) = station_scale_workload(stations, rounds);
+        let ((active_stats, active_completed, polls, slots), active_wall_ns) =
+            min_wall(profile.repeats(), || {
+                run_station_scale(&set, &schedule, medium, true)
+            });
+        let ((baseline_stats, baseline_completed, _, _), baseline_wall_ns) =
+            min_wall(profile.repeats(), || {
+                run_station_scale(&set, &schedule, medium, false)
+            });
+        out.push(StationScaleResult {
+            stations,
+            messages: schedule.len() as u64,
+            slots,
+            active_wall_ns,
+            baseline_wall_ns,
+            equivalent: active_stats == baseline_stats,
+            completed: active_completed && baseline_completed,
+            polls,
+            station_slots: slots * u64::from(stations),
+        });
     }
     out
 }
@@ -980,6 +1149,7 @@ pub fn run_suite(profile: Profile) -> BenchReport {
         loaded: measure_loaded(profile),
         contention: measure_contention(profile),
         drains: measure_drains(profile),
+        station_scale: measure_station_scale(profile),
         multichannel: measure_multichannel(profile),
         federation: measure_federation(profile),
         queue: measure_queue(profile),
@@ -1106,6 +1276,29 @@ impl BenchReport {
                                 ),
                                 ("delivered", Json::from(d.delivered as u64)),
                                 ("completed", Json::from(d.completed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "station_scale",
+                Json::Array(
+                    self.station_scale
+                        .iter()
+                        .map(|s| {
+                            Json::object([
+                                ("stations", Json::from(u64::from(s.stations))),
+                                ("messages", Json::from(s.messages)),
+                                ("slots", Json::from(s.slots)),
+                                ("active_wall_ns", Json::from(s.active_wall_ns)),
+                                ("baseline_wall_ns", Json::from(s.baseline_wall_ns)),
+                                ("speedup", Json::from(s.speedup())),
+                                ("equivalent", Json::from(s.equivalent)),
+                                ("completed", Json::from(s.completed)),
+                                ("polls", Json::from(s.polls)),
+                                ("station_slots", Json::from(s.station_slots)),
+                                ("poll_fraction", Json::from(s.poll_fraction())),
                             ])
                         })
                         .collect(),
@@ -1355,6 +1548,47 @@ pub fn check_report(doc: &Json) -> Vec<String> {
         }
     }
 
+    match doc.get("station_scale").and_then(Json::as_array) {
+        None => fail("missing station_scale".into()),
+        Some([]) => fail("station_scale is empty".into()),
+        Some(entries) => {
+            let mut gated = 0usize;
+            for (i, entry) in entries.iter().enumerate() {
+                if entry.get("equivalent").and_then(Json::as_bool) != Some(true) {
+                    fail(format!("station_scale[{i}].equivalent must be true"));
+                }
+                if entry.get("completed").and_then(Json::as_bool) != Some(true) {
+                    fail(format!("station_scale[{i}] did not complete"));
+                }
+                for key in ["slots", "active_wall_ns", "baseline_wall_ns"] {
+                    match entry.get(key).and_then(Json::as_f64) {
+                        Some(v) if v > 0.0 => {}
+                        other => fail(format!(
+                            "station_scale[{i}].{key} must be > 0, got {other:?}"
+                        )),
+                    }
+                }
+                let stations = entry.get("stations").and_then(Json::as_f64).unwrap_or(0.0);
+                if stations >= STATION_SCALE_GATED_AT as f64 {
+                    gated += 1;
+                    match entry.get("speedup").and_then(Json::as_f64) {
+                        Some(s) if s >= MIN_STATION_SCALE_SPEEDUP => {}
+                        Some(s) => fail(format!(
+                            "station_scale[{i}].speedup {s:.2} below gate \
+                             {MIN_STATION_SCALE_SPEEDUP} (z={stations})"
+                        )),
+                        None => fail(format!("missing station_scale[{i}].speedup")),
+                    }
+                }
+            }
+            if gated == 0 {
+                fail(format!(
+                    "station_scale has no gated entry (>= {STATION_SCALE_GATED_AT} stations)"
+                ));
+            }
+        }
+    }
+
     match doc.get("multichannel") {
         None => fail("missing multichannel".into()),
         Some(section) => {
@@ -1538,6 +1772,30 @@ mod tests {
                 delivered: 10,
                 completed: true,
             }],
+            station_scale: vec![
+                StationScaleResult {
+                    stations: 64,
+                    messages: 128,
+                    slots: 2_000,
+                    active_wall_ns: 4_000,
+                    baseline_wall_ns: 9_000,
+                    equivalent: true,
+                    completed: true,
+                    polls: 5_000,
+                    station_slots: 128_000,
+                },
+                StationScaleResult {
+                    stations: 2_048,
+                    messages: 4_096,
+                    slots: 60_000,
+                    active_wall_ns: 10_000,
+                    baseline_wall_ns: 120_000,
+                    equivalent: true,
+                    completed: true,
+                    polls: 150_000,
+                    station_slots: 122_880_000,
+                },
+            ],
             multichannel: MultichannelResult {
                 channels: 4,
                 participants: 32,
@@ -1611,7 +1869,7 @@ mod tests {
 
     #[test]
     fn missing_sections_are_reported() {
-        let doc = Json::parse(r#"{"schema_version": 5}"#).unwrap();
+        let doc = Json::parse(r#"{"schema_version": 6}"#).unwrap();
         let violations = check_report(&doc);
         for needle in [
             "profile",
@@ -1619,6 +1877,7 @@ mod tests {
             "loaded_fast_forward",
             "contention_fast_forward",
             "protocol_drain",
+            "station_scale",
             "multichannel",
             "federation",
             "edf_queue",
@@ -1720,6 +1979,71 @@ mod tests {
                 .any(|v| v.contains("below gate") && v.contains("load=0.8")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn slow_station_scale_point_fails_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("station_scale") {
+                if let Some(Json::Object(entry)) = entries.last_mut() {
+                    entry.insert("speedup".into(), Json::Number(3.0));
+                }
+            }
+        }
+        let violations = check_report(&doc);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("station_scale") && v.contains("below gate")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn ungated_station_scale_point_is_informational() {
+        // Below the gated population, a modest speedup is recorded but
+        // not enforced — the first grid point (64 stations) may sit
+        // anywhere.
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("station_scale") {
+                if let Some(Json::Object(entry)) = entries.first_mut() {
+                    entry.insert("speedup".into(), Json::Number(1.1));
+                }
+            }
+        }
+        assert_eq!(check_report(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn divergent_station_scale_stats_fail_gate() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("station_scale") {
+                if let Some(Json::Object(entry)) = entries.last_mut() {
+                    entry.insert("equivalent".into(), Json::Bool(false));
+                }
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("station_scale[1].equivalent")));
+    }
+
+    #[test]
+    fn station_scale_without_gated_point_fails() {
+        let mut doc = passing_report();
+        if let Json::Object(map) = &mut doc {
+            if let Some(Json::Array(entries)) = map.get_mut("station_scale") {
+                if let Some(Json::Object(entry)) = entries.last_mut() {
+                    entry.insert("stations".into(), Json::Number(512.0));
+                }
+            }
+        }
+        assert!(check_report(&doc)
+            .iter()
+            .any(|v| v.contains("station_scale has no gated entry")));
     }
 
     #[test]

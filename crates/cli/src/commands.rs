@@ -105,11 +105,12 @@ COMMANDS
   trace        stream the slot-level channel trace of a DDCR run as JSONL
                  --scenario ... --sources Z --out PATH
                  [--stepper fast|reference] [--busy-skip on|off]
-                 [--contention-skip on|off] [--horizon-ms H] [--medium ...]
+                 [--contention-skip on|off] [--active-set on|off]
+                 [--horizon-ms H] [--medium ...]
                  (the byte stream is identical for every stepper,
-                  busy-skip, and contention-skip combination; the
-                  independent switches exist for bisecting a divergence
-                  to one fast path)
+                  busy-skip, contention-skip, and active-set combination;
+                  the independent switches exist for bisecting a
+                  divergence to one fast path)
   bench-engine engine hot-path perf suite; writes the BENCH_engine.json gate
                  [--profile smoke|full] [--out PATH]  (see docs/PERF.md)
   serve        long-running online admission control: JSONL requests on
@@ -1131,6 +1132,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         "stepper",
         "busy-skip",
         "contention-skip",
+        "active-set",
     ])
     .map_err(|e| e.to_string())?;
     let set = set_from(args)?;
@@ -1168,6 +1170,18 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
         "off" => false,
         other => return Err(format!("unknown contention-skip `{other}` (on|off)")),
     };
+    // The active-set scheduler is the fourth independent switch of the
+    // bisection matrix, with the same default rule.
+    let active_set_arg = args.get("active-set").unwrap_or(if fast_forward {
+        "on"
+    } else {
+        "off"
+    });
+    let active_set = match active_set_arg {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown active-set `{other}` (on|off)")),
+    };
     let (config, allocation) = setup(&set, &medium)?;
     let schedule = ScheduleBuilder::peak_load(&set)
         .build(Ticks(horizon_ms * 1_000_000))
@@ -1177,6 +1191,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     engine.set_fast_forward(fast_forward);
     engine.set_busy_fast_forward(busy_fast_forward);
     engine.set_contention_fast_forward(contention_fast_forward);
+    engine.set_active_set(active_set);
     let file = std::fs::File::create(out_path)
         .map_err(|e| format!("cannot create {out_path}: {e}"))?;
     engine.set_trace_sink(JsonlSink::new(Box::new(std::io::BufWriter::new(file))));
@@ -1190,7 +1205,7 @@ fn cmd_trace(args: &Args) -> Result<String, String> {
     let stats = engine.into_stats();
     Ok(format!(
         "wrote {events} events ({} v{}, {stepper} stepper, busy-skip {busy_skip}, \
-         contention-skip {contention_skip}) to {out_path}\n\
+         contention-skip {contention_skip}, active-set {active_set_arg}) to {out_path}\n\
          delivered {}, collisions {}, {} simulated ticks\n",
         ddcr_sim::TRACE_SCHEMA,
         ddcr_sim::TRACE_SCHEMA_VERSION,
@@ -1762,19 +1777,22 @@ mod tests {
         let dir = std::env::temp_dir().join("ddcr_cli_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         // Full bisection matrix: idle stepper x busy-skip x
-        // contention-skip. Every byte stream must be identical to the
-        // full reference run (the last entry).
+        // contention-skip x active-set. Every byte stream must be
+        // identical to the full reference run (the last entry).
         let mut matrix = Vec::new();
         for stepper in ["fast", "reference"] {
             for busy_skip in ["on", "off"] {
                 for contention_skip in ["on", "off"] {
-                    let path =
-                        dir.join(format!("{stepper}_{busy_skip}_{contention_skip}.jsonl"));
-                    matrix.push((stepper, busy_skip, contention_skip, path));
+                    for active_set in ["on", "off"] {
+                        let path = dir.join(format!(
+                            "{stepper}_{busy_skip}_{contention_skip}_{active_set}.jsonl"
+                        ));
+                        matrix.push((stepper, busy_skip, contention_skip, active_set, path));
+                    }
                 }
             }
         }
-        for (stepper, busy_skip, contention_skip, path) in &matrix {
+        for (stepper, busy_skip, contention_skip, active_set, path) in &matrix {
             let out = run_line(&[
                 "trace",
                 "--scenario",
@@ -1791,6 +1809,8 @@ mod tests {
                 busy_skip,
                 "--contention-skip",
                 contention_skip,
+                "--active-set",
+                active_set,
                 "--out",
                 path.to_str().unwrap(),
             ])
@@ -1801,16 +1821,19 @@ mod tests {
                 out.contains(&format!("contention-skip {contention_skip}")),
                 "{out}"
             );
+            assert!(out.contains(&format!("active-set {active_set}")), "{out}");
         }
-        let (_, _, _, reference_path) = matrix.last().unwrap();
+        let (_, _, _, _, reference_path) = matrix.last().unwrap();
         let reference = std::fs::read(reference_path).unwrap();
         assert!(!reference.is_empty());
-        for (stepper, busy_skip, contention_skip, path) in &matrix[..matrix.len() - 1] {
+        for (stepper, busy_skip, contention_skip, active_set, path) in
+            &matrix[..matrix.len() - 1]
+        {
             let bytes = std::fs::read(path).unwrap();
             assert_eq!(
                 bytes, reference,
                 "stepper={stepper} busy-skip={busy_skip} contention-skip={contention_skip} \
-                 trace diverges from full reference"
+                 active-set={active_set} trace diverges from full reference"
             );
         }
         let text = String::from_utf8(reference).unwrap();
@@ -1850,6 +1873,18 @@ mod tests {
             "--out",
             "/tmp/x.jsonl",
             "--contention-skip",
+            "maybe"
+        ])
+        .is_err());
+        assert!(run_line(&[
+            "trace",
+            "--scenario",
+            "uniform",
+            "--sources",
+            "2",
+            "--out",
+            "/tmp/x.jsonl",
+            "--active-set",
             "maybe"
         ])
         .is_err());

@@ -34,7 +34,7 @@ use crate::indices::StaticAllocation;
 use crate::mts::{Interval, MtsEvent, MtsSearch, SlotOutcome};
 use ddcr_sim::{
     Action, AttemptCycleHint, EpochStamp, Frame, HoldHint, Message, MessageId, Observation,
-    PhaseHint, ProtocolPhase, SearchHint, SearchSlotRecord, SourceId, Station, Ticks,
+    PhaseHint, ProtocolPhase, SearchHint, SearchSlotRecord, SourceId, Station, Ticks, WakeHint,
 };
 use serde::{Deserialize, Serialize};
 
@@ -731,6 +731,27 @@ impl Station for DdcrStation {
         }
     }
 
+    fn wake_hint(&self) -> WakeHint {
+        // Dormancy is exactly the regime `next_ready` answers `None` for
+        // while Online: an empty queue, no burst reservation, and the
+        // time-free TTs/Attempt idle cycle, in which this replica is
+        // provably silent and every deferred catch-up primitive replays
+        // exactly. A resynchronizing replica stays live (its per-slot
+        // buffering and hint vetoes must be consulted), and a synced
+        // replica outside the idle cycle — mid STs, or under a burst
+        // reservation — stays live so the shared-state vetoes the chorus
+        // relies on are always carried by an active station.
+        if matches!(self.mode, Mode::Online)
+            && self.queue.is_empty()
+            && self.burst_reserved_for.is_none()
+            && matches!(self.phase, Phase::Tts(_) | Phase::Attempt)
+        {
+            WakeHint::Dormant
+        } else {
+            WakeHint::Active
+        }
+    }
+
     fn hold_hint(&self, _now: Ticks) -> HoldHint {
         if !matches!(self.mode, Mode::Online) {
             // A resynchronizing replica is receive-only but may rejoin on
@@ -812,6 +833,46 @@ impl Station for DdcrStation {
             stamp: self.epoch_stamp(),
             counters: self.counters,
         }))
+    }
+
+    fn resync_checkpoint(&self) -> Option<(Ticks, Box<dyn std::any::Any + Send>)> {
+        // Same payload as the contention checkpoint: epoch coordinates plus
+        // the full counter block. Only a synced replica can vouch for the
+        // shared automaton.
+        if !matches!(self.mode, Mode::Online) {
+            return None;
+        }
+        let stamp = self.epoch_stamp();
+        Some((
+            stamp.start,
+            Box::new(SearchCheckpoint {
+                stamp,
+                counters: self.counters,
+            }),
+        ))
+    }
+
+    fn resync_rebase(&mut self, checkpoint: &dyn std::any::Any) -> bool {
+        // The parked envelope guarantees this replica is Online, silent,
+        // and empty-queued over the whole dormant span, so the epoch
+        // rebuild that backs crash-restart resynchronization applies
+        // verbatim: the shared state at the boundary is a pure function of
+        // the stamp, and the tail replay the engine runs next reproduces
+        // everything since.
+        let Some(cp) = checkpoint.downcast_ref::<SearchCheckpoint>() else {
+            return false;
+        };
+        if !matches!(self.mode, Mode::Online) {
+            return false;
+        }
+        self.reinitialize_at_epoch(cp.stamp);
+        true
+    }
+
+    fn resync_adopt(&mut self, checkpoint: &dyn std::any::Any) {
+        if let Some(cp) = checkpoint.downcast_ref::<SearchCheckpoint>() {
+            self.counters.adopt_shared(&cp.counters);
+        }
     }
 
     fn skip_search(

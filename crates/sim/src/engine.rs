@@ -15,10 +15,11 @@ use crate::fault::{fence_cap, FaultPlan, SlotFaults};
 use crate::membership::{MembershipChange, MembershipPlan, ABSENT};
 use crate::message::{Delivery, Frame, Message};
 use crate::metrics::{PhaseHint, ProtocolPhase, SimMetrics, XiBoundTable};
-use crate::station::{HoldHint, SearchHint, SearchSlotRecord, Station};
+use crate::station::{HoldHint, SearchHint, SearchSlotRecord, Station, WakeHint};
 use crate::stats::ChannelStats;
 use crate::time::Ticks;
 use crate::trace::{JsonlSink, Trace, TraceEvent};
+use std::collections::VecDeque;
 
 /// Error raised when assembling or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +64,119 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Per-station hot state, split out of the boxed `Station` trait objects
+/// into parallel structure-of-arrays columns: the fields the engine
+/// touches on every decision slot (fencing, wake bookkeeping) live in
+/// three dense arrays, so the per-slot scans are cache-linear instead of
+/// chasing one heap allocation per station.
+#[derive(Debug, Default)]
+struct StationHot {
+    /// Per-station fencing state: `Some(r)` means off the fabric until the
+    /// slot with ordinal `r` (restart processed at the start of that
+    /// slot). A crashed station carries its restart ordinal; an absent one
+    /// (left, or never joined — see [`MembershipPlan`]) carries the
+    /// [`ABSENT`] sentinel, which never falls due on its own. Only ever
+    /// populated by a non-empty fault or membership plan.
+    down: Vec<Option<u64>>,
+    /// Whether the active-set scheduler has parked the station (see
+    /// [`WakeHint::Dormant`]). A parked station is never down and never in
+    /// the `active` index.
+    parked: Vec<bool>,
+    /// For a parked station: the absolute index (see
+    /// `Engine::catchup_base`) of the first catch-up log entry it has not
+    /// replayed yet — its next-wake position in the deferred channel
+    /// history.
+    cursor: Vec<u64>,
+}
+
+/// One deferred channel operation in the active-set catch-up log: enough
+/// to drive the corresponding observation entry point of a parked station
+/// with exactly the arguments a live station received, in channel order.
+#[derive(Debug, Clone)]
+enum CatchUp {
+    /// One reference-stepped decision slot ([`Station::observe`]).
+    Slot {
+        at: Ticks,
+        next_free: Ticks,
+        observation: Observation,
+    },
+    /// A fast-forwarded silence run ([`Station::skip_silence`]).
+    Silence { from: Ticks, slots: u64, slot: Ticks },
+    /// A fast-forwarded busy run ([`Station::skip_busy`]).
+    Busy {
+        from: Ticks,
+        frames: Vec<Frame>,
+        slot: Ticks,
+    },
+    /// A fast-forwarded contention run ([`Station::skip_search`]; parked
+    /// stations take the exact per-record replay path, so no checkpoint is
+    /// stored).
+    Search {
+        from: Ticks,
+        records: Vec<SearchSlotRecord>,
+        slot: Ticks,
+    },
+    /// An analytic attempt-cycle run ([`Station::skip_attempt_cycles`]).
+    Cycles {
+        from: Ticks,
+        cycles: u64,
+        probes: u64,
+        slot: Ticks,
+    },
+}
+
+impl CatchUp {
+    /// Channel time the deferred operation starts at. The log is
+    /// contiguous in channel time: each entry starts where the previous
+    /// one ended.
+    fn start(&self) -> Ticks {
+        match self {
+            CatchUp::Slot { at, .. } => *at,
+            CatchUp::Silence { from, .. }
+            | CatchUp::Busy { from, .. }
+            | CatchUp::Search { from, .. }
+            | CatchUp::Cycles { from, .. } => *from,
+        }
+    }
+
+    /// Channel time the deferred operation ends at.
+    fn end(&self) -> Ticks {
+        match self {
+            CatchUp::Slot { next_free, .. } => *next_free,
+            CatchUp::Silence { from, slots, slot } => *from + *slot * *slots,
+            CatchUp::Busy { from, frames, .. } => {
+                frames.iter().fold(*from, |at, f| at + f.duration())
+            }
+            CatchUp::Search { from, records, .. } => {
+                records.last().map_or(*from, |r| r.next_free)
+            }
+            CatchUp::Cycles {
+                from,
+                cycles,
+                probes,
+                slot,
+            } => *from + *slot * ((*probes + 1) * *cycles),
+        }
+    }
+}
+
+/// The engine-held epoch-anchored wake shortcut: a resynchronization
+/// checkpoint captured from a fully caught-up station (see
+/// [`Station::resync_checkpoint`]), refreshed on every park and wake and
+/// dropped on fault/membership transitions. A station that parked before
+/// the checkpoint's epoch boundary wakes by rebasing onto the boundary and
+/// replaying only the log tail from it — `O(final epoch)` instead of
+/// `O(dormant span)`.
+struct WakeAnchor {
+    /// Channel time of the epoch boundary the checkpoint rebuilds at.
+    epoch_start: Ticks,
+    /// Absolute catch-up log index at capture time: the donor had observed
+    /// exactly the entries below it, so its counter block is exact there.
+    at: u64,
+    /// The opaque protocol checkpoint.
+    checkpoint: Box<dyn std::any::Any + Send>,
+}
+
 /// The simulation engine: one broadcast medium plus its stations.
 ///
 /// # Examples
@@ -97,13 +211,42 @@ pub struct Engine {
     /// events are keyed by, identical under fast-forward and reference
     /// stepping.
     slot_ordinal: u64,
-    /// Per-station fencing state: `Some(r)` means off the fabric until the
-    /// slot with ordinal `r` (restart processed at the start of that
-    /// slot). A crashed station carries its restart ordinal; an absent one
-    /// (left, or never joined — see [`MembershipPlan`]) carries the
-    /// [`ABSENT`] sentinel, which never falls due on its own. Only ever
-    /// populated by a non-empty fault or membership plan.
-    down: Vec<Option<u64>>,
+    /// The per-station hot state (down/absent fencing, park flags, wake
+    /// cursors), SoA-split out of the boxed stations — see [`StationHot`].
+    hot: StationHot,
+    /// The active-set index: station indices not currently parked, in
+    /// ascending attachment order (so every active-set loop visits
+    /// stations in exactly the order the full loops did). Down stations
+    /// stay in the index — the per-loop `down` checks fence them, exactly
+    /// as before.
+    active: Vec<usize>,
+    /// Count of parked stations (`hot.parked` trues).
+    parked_count: usize,
+    /// The shared catch-up log of deferred channel operations; one entry
+    /// serves every parked station, each tracking its own replay cursor.
+    catchup: VecDeque<CatchUp>,
+    /// Absolute index of `catchup`'s front entry: compaction drops
+    /// replayed prefixes without renumbering cursors.
+    catchup_base: u64,
+    /// Compaction trigger: when the log outgrows this, drop the prefix
+    /// every parked station has replayed and double the watermark
+    /// (amortised O(1) per append).
+    catchup_watermark: usize,
+    /// Active-set scheduling (on by default): dormant stations are parked
+    /// out of the per-slot loops and caught up in batches on wake.
+    /// Independently switchable from the other tiers for bisection.
+    active_set: bool,
+    /// Count of `Station::poll` calls issued so far — the telemetry the
+    /// active-set scale tests assert on (polled station-slots vs. the
+    /// `slot_ordinal × station_count` total).
+    polls: u64,
+    /// Count of catch-up log entries replayed into waking stations —
+    /// telemetry for the epoch-anchored wake shortcut (stays near the
+    /// final-epoch tail size per wake when the shortcut engages, grows
+    /// with the dormant span when it cannot).
+    replays: u64,
+    /// The epoch-anchored wake shortcut, when one is available.
+    anchor: Option<WakeAnchor>,
     /// The scheduled membership changes (empty by default: zero overhead).
     membership: MembershipPlan,
     /// Cached `stations backlog + pending` total; valid when not stale.
@@ -170,7 +313,16 @@ impl Engine {
             transmitters: Vec::new(),
             faults: FaultPlan::none(),
             slot_ordinal: 0,
-            down: Vec::new(),
+            hot: StationHot::default(),
+            active: Vec::new(),
+            parked_count: 0,
+            catchup: VecDeque::new(),
+            catchup_base: 0,
+            catchup_watermark: 64,
+            active_set: true,
+            polls: 0,
+            replays: 0,
+            anchor: None,
             membership: MembershipPlan::none(),
             backlog_cache: 0,
             backlog_stale: true,
@@ -189,8 +341,11 @@ impl Engine {
     /// Attaches a station; stations are indexed by attachment order, which
     /// must match the `SourceId`s used in the workload.
     pub fn add_station(&mut self, station: Box<dyn Station>) -> &mut Self {
+        self.active.push(self.stations.len());
         self.stations.push(station);
-        self.down.push(None);
+        self.hot.down.push(None);
+        self.hot.parked.push(false);
+        self.hot.cursor.push(0);
         self.backlog_stale = true;
         self
     }
@@ -227,7 +382,7 @@ impl Engine {
             return Err(SimError::UnknownSource { source, stations });
         }
         for &station in plan.initially_absent() {
-            self.down[station as usize] = Some(ABSENT);
+            self.hot.down[station as usize] = Some(ABSENT);
         }
         self.membership = plan;
         self.backlog_stale = true;
@@ -238,7 +393,7 @@ impl Engine {
     /// (left, or not yet joined) — as opposed to crashed with a scheduled
     /// restart, which [`Engine::is_down`] also reports.
     pub fn is_absent(&self, index: usize) -> bool {
-        self.down.get(index).is_some_and(|d| *d == Some(ABSENT))
+        self.hot.down.get(index).is_some_and(|d| *d == Some(ABSENT))
     }
 
     /// Enables channel tracing.
@@ -268,6 +423,10 @@ impl Engine {
     /// table grows on demand.
     pub fn enable_metrics(&mut self) -> &mut Self {
         if self.metrics.is_none() {
+            // Dormancy is suspended under metrics (see
+            // [`Engine::set_active_set`]); catch any already-parked
+            // station up first.
+            self.wake_all();
             self.metrics = Some(SimMetrics::new(self.stations.len()));
         }
         self
@@ -350,6 +509,35 @@ impl Engine {
         self
     }
 
+    /// Enables or disables the active-set scheduler (on by default),
+    /// independently of the three fast-forward tiers so every mechanism
+    /// can be bisected on its own.
+    ///
+    /// With the scheduler on, stations whose [`Station::wake_hint`]
+    /// promises dormancy are parked out of every per-slot loop — polls,
+    /// tier-gating hint scans, and catch-up fan-outs all visit only the
+    /// active set — and receive their deferred observations in one batch
+    /// on their next wake (a delivery, a fault or membership transition,
+    /// or a channel event that could break the promise). Statistics,
+    /// traces and delivery schedules are bitwise identical to the full
+    /// loops. Dormancy is suspended while metrics are enabled (per-slot
+    /// phase attribution needs every synced station live), so enabling
+    /// metrics is equivalent to switching the scheduler off.
+    pub fn set_active_set(&mut self, enabled: bool) -> &mut Self {
+        if !enabled {
+            self.wake_all();
+        }
+        self.active_set = enabled;
+        self
+    }
+
+    /// Whether stations may currently be parked: the scheduler is on and
+    /// metrics are off (a dormant station's stale `phase_hint` must never
+    /// be consulted for slot attribution).
+    fn active_set_enabled(&self) -> bool {
+        self.active_set && self.metrics.is_none()
+    }
+
     /// Schedules a batch of future arrivals.
     ///
     /// # Errors
@@ -408,7 +596,7 @@ impl Engine {
 
     /// Whether the station at `index` is currently crashed.
     pub fn is_down(&self, index: usize) -> bool {
-        self.down.get(index).is_some_and(|d| d.is_some())
+        self.hot.down.get(index).is_some_and(|d| d.is_some())
     }
 
     /// Statistics accumulated so far.
@@ -444,10 +632,298 @@ impl Engine {
     /// cost no per-slot O(stations) summation.
     fn tracked_backlog(&mut self) -> usize {
         if self.backlog_stale {
-            self.backlog_cache = self.backlog();
+            // Parked stations hold no backlog — an empty queue is a
+            // precondition for parking, and deferred observations never
+            // enqueue — so summing the active set equals summing everyone.
+            self.backlog_cache = self
+                .active
+                .iter()
+                .map(|&idx| self.stations[idx].backlog())
+                .sum::<usize>()
+                + self.pending.len();
             self.backlog_stale = false;
         }
         self.backlog_cache
+    }
+
+    /// Count of [`Station::poll`] calls issued so far. With the active-set
+    /// scheduler on and a sparse workload this stays far below the
+    /// `slot_ordinal × station_count` total the full poll loop would
+    /// issue — the scale tests assert on exactly that ratio.
+    pub fn poll_count(&self) -> u64 {
+        self.polls
+    }
+
+    /// Count of catch-up log entries replayed into waking stations so far.
+    /// With the epoch-anchored wake shortcut engaged this grows by roughly
+    /// one final-epoch tail per wake; without it, by the whole dormant
+    /// span — the scale tests assert on the difference.
+    pub fn replay_count(&self) -> u64 {
+        self.replays
+    }
+
+    /// Appends one deferred channel operation to the catch-up log — a
+    /// no-op while nothing is parked, so the log costs nothing when the
+    /// scheduler is off or every station is active.
+    fn record_catchup(&mut self, entry: CatchUp) {
+        if self.parked_count == 0 {
+            return;
+        }
+        self.catchup.push_back(entry);
+        if self.catchup.len() >= self.catchup_watermark {
+            self.compact_catchup();
+            self.catchup_watermark = (self.catchup.len() * 2).max(64);
+        }
+    }
+
+    /// Drops the catch-up prefix every parked station has already
+    /// replayed.
+    fn compact_catchup(&mut self) {
+        let min_cursor = self
+            .hot
+            .cursor
+            .iter()
+            .zip(&self.hot.parked)
+            .filter(|&(_, &parked)| parked)
+            .map(|(&cursor, _)| cursor)
+            .min()
+            .unwrap_or(self.catchup_base + self.catchup.len() as u64);
+        while self.catchup_base < min_cursor {
+            self.catchup.pop_front();
+            self.catchup_base += 1;
+        }
+    }
+
+    /// Replays, in channel order, every deferred operation the parked
+    /// station at `idx` has not seen yet — the batched catch-up of the
+    /// active-set contract. When a wake anchor is available and valid the
+    /// station is rebased onto the checkpoint's epoch boundary instead and
+    /// replays only the log tail from it (see [`WakeAnchor`]); either way
+    /// it lands in exactly the state per-slot engagement would have left
+    /// it in.
+    fn observe_skipped(&mut self, idx: usize) {
+        let start = (self.hot.cursor[idx] - self.catchup_base) as usize;
+        if start < self.catchup.len() && !self.try_anchored_catchup(idx, start) {
+            self.replay_entries(idx, start, self.catchup.len(), None);
+        }
+        self.hot.cursor[idx] = self.catchup_base + self.catchup.len() as u64;
+    }
+
+    /// Attempts the epoch-anchored wake shortcut for the parked station at
+    /// `idx` whose full replay would start at log position `start`: rebase
+    /// the station onto the captured checkpoint's epoch boundary, replay
+    /// only the log tail from that boundary, and adopt the shared counters
+    /// at the capture position. Returns `false` — leaving the station
+    /// untouched — whenever any validity condition fails; the caller then
+    /// runs the exact full replay.
+    fn try_anchored_catchup(&mut self, idx: usize, start: usize) -> bool {
+        let Some(anchor) = self.anchor.as_ref() else {
+            return false;
+        };
+        if anchor.at < self.catchup_base {
+            // The checkpoint predates the current log era.
+            return false;
+        }
+        let k = (anchor.at - self.catchup_base) as usize;
+        let epoch = anchor.epoch_start;
+        // First log entry starting at or after the epoch boundary.
+        let t = self.catchup.partition_point(|e| e.start() < epoch);
+        // Locate the boundary: exactly between entries, or splittably
+        // inside entry `t - 1` (silence runs advance the idle automaton a
+        // whole slot at a time and search runs record every slot, so both
+        // can be entered mid-span; anything else falls back).
+        let (first, cut) = if t < self.catchup.len() && self.catchup[t].start() == epoch {
+            (t, None)
+        } else if t == 0 {
+            // The epoch began before the log did: coverage is unprovable.
+            return false;
+        } else {
+            let prev = &self.catchup[t - 1];
+            if epoch >= prev.end() {
+                if t == self.catchup.len() {
+                    (t, None) // boundary at the log head: empty tail
+                } else {
+                    return false; // non-contiguous log (defensive)
+                }
+            } else {
+                match prev {
+                    CatchUp::Silence { from, slot, .. }
+                        if (epoch.as_u64() - from.as_u64())
+                            .is_multiple_of(slot.as_u64()) =>
+                    {
+                        (t - 1, Some(epoch))
+                    }
+                    CatchUp::Search { .. } => (t - 1, Some(epoch)),
+                    _ => return false,
+                }
+            }
+        };
+        // The station must have parked before the boundary (everything it
+        // missed below `first` is subsumed by the rebase plus the adopted
+        // counters), and the checkpoint must postdate the boundary.
+        if start > first || k < first {
+            return false;
+        }
+        if !self.stations[idx].resync_rebase(anchor.checkpoint.as_ref()) {
+            return false;
+        }
+        let len = self.catchup.len();
+        self.replay_entries(idx, first, k, cut);
+        // Adopt the shared counters exactly at the capture position, then
+        // replay whatever was logged after it.
+        let anchor = self.anchor.as_ref().expect("anchor persists across replay");
+        self.stations[idx].resync_adopt(anchor.checkpoint.as_ref());
+        self.replay_entries(idx, k, len, if k == first { cut } else { None });
+        true
+    }
+
+    /// Replays catch-up log entries `[from..to)` into station `idx`;
+    /// `cut` enters the first replayed entry mid-span at the given channel
+    /// time (only ever a silence run or a recorded search, per
+    /// [`Engine::try_anchored_catchup`]).
+    fn replay_entries(&mut self, idx: usize, from: usize, to: usize, cut: Option<Ticks>) {
+        let catchup = std::mem::take(&mut self.catchup);
+        let station = &mut self.stations[idx];
+        for (i, entry) in catchup.iter().enumerate().take(to).skip(from) {
+            self.replays += 1;
+            let cut = cut.filter(|_| i == from);
+            match entry {
+                CatchUp::Slot {
+                    at,
+                    next_free,
+                    observation,
+                } => station.observe(*at, *next_free, observation),
+                CatchUp::Silence { from, slots, slot } => match cut {
+                    Some(at) => {
+                        let skipped = (at.as_u64() - from.as_u64()) / slot.as_u64();
+                        station.skip_silence(at, *slots - skipped, *slot);
+                    }
+                    None => station.skip_silence(*from, *slots, *slot),
+                },
+                CatchUp::Busy { from, frames, slot } => station.skip_busy(*from, frames, *slot),
+                CatchUp::Search {
+                    from,
+                    records,
+                    slot,
+                } => match cut {
+                    Some(at) => {
+                        // The epoch-branch tail of `skip_search`, driven by
+                        // the engine: every record from the boundary on.
+                        for r in records.iter().filter(|r| r.at >= at) {
+                            station.observe(r.at, r.next_free, &r.observation);
+                        }
+                    }
+                    None => station.skip_search(*from, records, None, *slot),
+                },
+                CatchUp::Cycles {
+                    from,
+                    cycles,
+                    probes,
+                    slot,
+                } => station.skip_attempt_cycles(*from, *cycles, *probes, *slot),
+            }
+        }
+        self.catchup = catchup;
+    }
+
+    /// Captures a fresh wake anchor from the fully caught-up station at
+    /// `idx`, if it publishes one (see [`Station::resync_checkpoint`]).
+    ///
+    /// Recapture is throttled: a still-current anchor less than
+    /// [`ANCHOR_REFRESH_ENTRIES`] log entries behind the head is kept
+    /// as-is. Anchors only pay off for stations dormant across many log
+    /// entries — a slightly stale anchor merely lengthens the short
+    /// post-adopt tail replay — while capturing one costs a heap
+    /// allocation plus a counter snapshot, which is pure overhead in
+    /// wake-heavy workloads where parks last a handful of slots.
+    fn capture_anchor(&mut self, idx: usize) {
+        const ANCHOR_REFRESH_ENTRIES: u64 = 32;
+        let head = self.catchup_base + self.catchup.len() as u64;
+        if let Some(anchor) = &self.anchor {
+            if anchor.at >= self.catchup_base && head - anchor.at < ANCHOR_REFRESH_ENTRIES {
+                return;
+            }
+        }
+        if let Some((epoch_start, checkpoint)) = self.stations[idx].resync_checkpoint() {
+            self.anchor = Some(WakeAnchor {
+                epoch_start,
+                at: self.catchup_base + self.catchup.len() as u64,
+                checkpoint,
+            });
+        }
+    }
+
+    /// Wakes the parked station at `idx`: replays its deferred
+    /// observations and reinstates it in the active index.
+    fn wake_station(&mut self, idx: usize) {
+        if !self.hot.parked[idx] {
+            return;
+        }
+        self.observe_skipped(idx);
+        self.hot.parked[idx] = false;
+        self.parked_count -= 1;
+        let pos = self.active.partition_point(|&a| a < idx);
+        self.active.insert(pos, idx);
+        if self.parked_count == 0 {
+            self.catchup_base += self.catchup.len() as u64;
+            self.catchup.clear();
+        }
+        // The freshly woken station is caught up to the log head: refresh
+        // the wake anchor so later wakes rebase onto its current epoch.
+        self.capture_anchor(idx);
+    }
+
+    /// Wakes every parked station (fault/membership transitions, metrics
+    /// enablement, scheduler shutdown, and corrupted otherwise-silent
+    /// slots all invalidate parked-state assumptions wholesale).
+    fn wake_all(&mut self) {
+        if self.parked_count == 0 {
+            return;
+        }
+        for idx in 0..self.stations.len() {
+            self.wake_station(idx);
+        }
+    }
+
+    /// Wakes every parked station so direct inspection (e.g.
+    /// [`Engine::station`] in tests) sees fully caught-up protocol state.
+    /// Called automatically when [`Engine::run_until`] and
+    /// [`Engine::run_to_completion`] return; cheap when nothing is parked.
+    pub fn sync_stations(&mut self) {
+        self.wake_all();
+    }
+
+    /// Parks every active station whose [`Station::wake_hint`] promises
+    /// dormancy. Down stations never park (their fencing already keeps
+    /// them out of every loop, and crash/restart bookkeeping must see
+    /// them); an empty local queue is a hard engine-side precondition on
+    /// top of the station's own promise.
+    fn park_dormant(&mut self) {
+        if !self.active_set_enabled() {
+            return;
+        }
+        let mut first_parked = None;
+        let mut k = 0;
+        while k < self.active.len() {
+            let idx = self.active[k];
+            if self.hot.down[idx].is_none()
+                && matches!(self.stations[idx].wake_hint(), WakeHint::Dormant)
+                && self.stations[idx].backlog() == 0
+            {
+                self.active.remove(k);
+                self.hot.parked[idx] = true;
+                self.hot.cursor[idx] = self.catchup_base + self.catchup.len() as u64;
+                self.parked_count += 1;
+                first_parked.get_or_insert(idx);
+            } else {
+                k += 1;
+            }
+        }
+        // A parking station has observed everything up to the log head:
+        // its checkpoint anchors the wakes of this dormancy era.
+        if let Some(idx) = first_parked {
+            self.capture_anchor(idx);
+        }
     }
 
     /// Runs until `deadline` (inclusive of the slot straddling it).
@@ -455,6 +931,7 @@ impl Engine {
         while self.now < deadline {
             self.advance(deadline, false);
         }
+        self.sync_stations();
         self.stats.total_ticks = self.now;
     }
 
@@ -470,6 +947,7 @@ impl Engine {
         let mut backlog = self.tracked_backlog();
         while backlog > 0 {
             if self.now >= max {
+                self.sync_stations();
                 self.stats.total_ticks = self.now;
                 return Err(SimError::Timeout {
                     at: self.now,
@@ -479,6 +957,7 @@ impl Engine {
             self.advance(max, true);
             backlog = self.tracked_backlog();
         }
+        self.sync_stations();
         self.stats.total_ticks = self.now;
         Ok(())
     }
@@ -521,6 +1000,16 @@ impl Engine {
     /// [`Engine::run_to_completion`], whose loop exits as soon as the
     /// backlog drains — a jump must not outrun that check.
     fn advance(&mut self, limit: Ticks, stop_on_drain: bool) {
+        self.advance_inner(limit, stop_on_drain);
+        // Park whatever just went dormant (a drained queue, a search
+        // resolving back to the idle cycle) before the next operation's
+        // hint scans — keeping those scans O(active).
+        self.park_dormant();
+    }
+
+    /// One resolved operation — a fast-forward run or one reference slot
+    /// — without the trailing active-set park pass.
+    fn advance_inner(&mut self, limit: Ticks, stop_on_drain: bool) {
         // A slot with a fault transition due (a scheduled event, or a
         // restart falling due) must go through the reference stepper: the
         // fast path's early `deliver_due` would otherwise race restart
@@ -567,7 +1056,7 @@ impl Engine {
             // plan no restart can fall due.
             return false;
         }
-        self.down
+        self.hot.down
             .iter()
             .flatten()
             .any(|&restart| restart <= self.slot_ordinal)
@@ -593,12 +1082,16 @@ impl Engine {
     /// jump runs straight to `limit`, exactly like the naive stepper would.
     fn skippable_slots(&mut self, limit: Ticks) -> Option<u64> {
         // Earliest time any station may act (None = never). Down stations
-        // are fenced off the channel, so their hints do not apply.
+        // are fenced off the channel, so their hints do not apply; parked
+        // stations promise `next_ready` of `None` for as long as they stay
+        // parked (see [`WakeHint::Dormant`]), so scanning the active set
+        // is exact.
         let mut horizon: Option<Ticks> = None;
-        for (idx, station) in self.stations.iter().enumerate() {
-            if self.down[idx].is_some() {
+        for &idx in &self.active {
+            if self.hot.down[idx].is_some() {
                 continue;
             }
+            let station = &self.stations[idx];
             match station.next_ready(self.now) {
                 Some(t) if t <= self.now => return None,
                 Some(t) => horizon = Some(horizon.map_or(t, |h| h.min(t))),
@@ -619,7 +1112,7 @@ impl Engine {
             self.slot_ordinal,
             fence_cap(
                 &self.faults,
-                &self.down,
+                &self.hot.down,
                 self.slot_ordinal,
                 span.div_ceil_slots(Ticks(self.medium.slot_ticks)),
             ),
@@ -643,12 +1136,18 @@ impl Engine {
         if let Some(metrics) = self.metrics.as_mut() {
             metrics.on_skip(slots);
         }
-        for (idx, station) in self.stations.iter_mut().enumerate() {
-            if self.down[idx].is_some() {
+        for k in 0..self.active.len() {
+            let idx = self.active[k];
+            if self.hot.down[idx].is_some() {
                 continue;
             }
-            station.skip_silence(self.now, slots, slot);
+            self.stations[idx].skip_silence(self.now, slots, slot);
         }
+        self.record_catchup(CatchUp::Silence {
+            from: self.now,
+            slots,
+            slot,
+        });
         self.now += slot * slots;
         self.slot_ordinal += slots;
     }
@@ -666,10 +1165,14 @@ impl Engine {
     fn try_busy_run(&mut self, limit: Ticks) -> bool {
         let mut holder: Option<usize> = None;
         let mut max_frames = u64::MAX;
-        for (idx, station) in self.stations.iter().enumerate() {
-            if self.down[idx].is_some() {
+        // Parked stations promise `Quiet(u64::MAX)` — exactly the answer
+        // their live state would give — so the scan covers the active set
+        // only.
+        for &idx in &self.active {
+            if self.hot.down[idx].is_some() {
                 continue;
             }
+            let station = &self.stations[idx];
             match station.hold_hint(self.now) {
                 HoldHint::Contend => return false,
                 HoldHint::Quiet(n) => {
@@ -695,7 +1198,7 @@ impl Engine {
         // stepper.
         max_frames = self.membership.fence(
             self.slot_ordinal,
-            fence_cap(&self.faults, &self.down, self.slot_ordinal, max_frames),
+            fence_cap(&self.faults, &self.hot.down, self.slot_ordinal, max_frames),
         );
         if max_frames == 0 {
             return false;
@@ -721,6 +1224,7 @@ impl Engine {
                 // polling; stop so the next `advance` does exactly that.
                 break;
             }
+            self.polls += 1;
             let Action::Transmit(frame) = self.stations[holder].poll(self.now) else {
                 // A `Hold` answer is a binding commitment (see
                 // [`HoldHint`]); the default hint never holds, and every
@@ -748,11 +1252,19 @@ impl Engine {
         }
         let done = frames.len() as u64;
         if done > 0 {
-            for (idx, station) in self.stations.iter_mut().enumerate() {
-                if idx == holder || self.down[idx].is_some() {
+            for k in 0..self.active.len() {
+                let idx = self.active[k];
+                if idx == holder || self.hot.down[idx].is_some() {
                     continue;
                 }
-                station.skip_busy(from, &frames, slot);
+                self.stations[idx].skip_busy(from, &frames, slot);
+            }
+            if self.parked_count > 0 {
+                self.record_catchup(CatchUp::Busy {
+                    from,
+                    frames: frames.clone(),
+                    slot,
+                });
             }
             if let Some(metrics) = self.metrics.as_mut() {
                 metrics.on_busy_skip(done);
@@ -782,12 +1294,16 @@ impl Engine {
         }
         let mut engaged = std::mem::take(&mut self.search_engaged);
         engaged.clear();
-        let mut quiet = 0usize;
+        // Parked stations promise `Quiet` — exactly the answer their live
+        // state would give — so they count toward the quiet chorus without
+        // being consulted.
+        let mut quiet = self.parked_count;
         let mut committed = false;
-        for (idx, station) in self.stations.iter().enumerate() {
-            if self.down[idx].is_some() {
+        for &idx in &self.active {
+            if self.hot.down[idx].is_some() {
                 continue;
             }
+            let station = &self.stations[idx];
             match station.search_hint(self.now) {
                 SearchHint::Quiet => quiet += 1,
                 SearchHint::Engage => {
@@ -799,7 +1315,7 @@ impl Engine {
         }
         let max_slots = self.membership.fence(
             self.slot_ordinal,
-            fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX),
+            fence_cap(&self.faults, &self.hot.down, self.slot_ordinal, u64::MAX),
         );
         let mut ran = false;
         if quiet > 0 && committed && max_slots > 0 && self.hint_attributable(&engaged) {
@@ -848,13 +1364,7 @@ impl Engine {
                 // polling; stop so the next `advance` does exactly that.
                 break;
             }
-            let mut transmitters = std::mem::take(&mut self.transmitters);
-            transmitters.clear();
-            for &idx in engaged {
-                if let Action::Transmit(frame) = self.stations[idx].poll(self.now) {
-                    transmitters.push(frame);
-                }
-            }
+            let transmitters = self.collect_transmitters(engaged);
             // Attribute the slot before observations mutate the shared
             // automaton; an engaged synced replica's answer equals the
             // reference stepper's (see `hint_attributable`).
@@ -901,11 +1411,19 @@ impl Engine {
             let checkpoint = engaged
                 .iter()
                 .find_map(|&idx| self.stations[idx].search_checkpoint());
-            for (idx, station) in self.stations.iter_mut().enumerate() {
-                if self.down[idx].is_some() || engaged.contains(&idx) {
+            for k in 0..self.active.len() {
+                let idx = self.active[k];
+                if self.hot.down[idx].is_some() || engaged.contains(&idx) {
                     continue;
                 }
-                station.skip_search(from, &records, checkpoint.as_deref(), slot);
+                self.stations[idx].skip_search(from, &records, checkpoint.as_deref(), slot);
+            }
+            if self.parked_count > 0 {
+                self.record_catchup(CatchUp::Search {
+                    from,
+                    records: records.clone(),
+                    slot,
+                });
             }
             if let Some(metrics) = self.metrics.as_mut() {
                 metrics.on_search_skip(done);
@@ -939,10 +1457,15 @@ impl Engine {
         let mut probes: Option<u64> = None;
         let mut cycles = u64::MAX;
         let mut refused = false;
-        for (idx, station) in self.stations.iter().enumerate() {
-            if self.down[idx].is_some() {
+        // Parked stations promise to be silent observers compatible with
+        // whatever cycle shape the contenders agree on, with an unbounded
+        // cycle count — exactly the hint their live (synced, empty-queue)
+        // state would give — so only the active set is consulted.
+        for &idx in &self.active {
+            if self.hot.down[idx].is_some() {
                 continue;
             }
+            let station = &self.stations[idx];
             let Some(hint) = station.attempt_cycle_hint(self.now, slot) else {
                 refused = true;
                 break;
@@ -986,7 +1509,7 @@ impl Engine {
         // stepper.
         let fenced_slots = self.membership.fence(
             self.slot_ordinal,
-            fence_cap(&self.faults, &self.down, self.slot_ordinal, u64::MAX),
+            fence_cap(&self.faults, &self.hot.down, self.slot_ordinal, u64::MAX),
         );
         cycles = cycles.min(fenced_slots / (probes + 1));
         if cycles == 0 {
@@ -1051,12 +1574,19 @@ impl Engine {
             }
             metrics.on_search_skip(cycles * (probes + 1));
         }
-        for (idx, station) in self.stations.iter_mut().enumerate() {
-            if self.down[idx].is_some() {
+        for k in 0..self.active.len() {
+            let idx = self.active[k];
+            if self.hot.down[idx].is_some() {
                 continue;
             }
-            station.skip_attempt_cycles(from, cycles, probes, slot);
+            self.stations[idx].skip_attempt_cycles(from, cycles, probes, slot);
         }
+        self.record_catchup(CatchUp::Cycles {
+            from,
+            cycles,
+            probes,
+            slot,
+        });
         self.now = from + span * cycles;
         self.slot_ordinal += cycles * (probes + 1);
     }
@@ -1066,20 +1596,30 @@ impl Engine {
     /// it), then newly scheduled crashes.
     fn process_fault_transitions(&mut self) {
         let ordinal = self.slot_ordinal;
-        for idx in 0..self.down.len() {
-            if let Some(restart) = self.down[idx] {
+        if self.parked_count > 0 && self.faults.crashes_at(ordinal).next().is_some() {
+            // A crash mutates protocol state wholesale (and may strand a
+            // burst reservation or mid-search state with no live witness
+            // to veto fast-forward runs over it): catch everyone up and
+            // let dormancy re-form afterwards.
+            self.wake_all();
+        }
+        for idx in 0..self.hot.down.len() {
+            if let Some(restart) = self.hot.down[idx] {
                 if restart <= ordinal {
                     self.stations[idx].restart(self.now);
                     self.stats.restarts += 1;
-                    self.down[idx] = None;
+                    self.hot.down[idx] = None;
                     self.backlog_stale = true;
+                    // The captured checkpoint predates this transition;
+                    // drop it rather than rebase onto a stale epoch.
+                    self.anchor = None;
                 }
             }
         }
         let crashes: Vec<(u32, u64)> = self.faults.crashes_at(ordinal).collect();
         for (station, down_slots) in crashes {
             let idx = station as usize;
-            if idx >= self.stations.len() || self.down[idx].is_some() {
+            if idx >= self.stations.len() || self.hot.down[idx].is_some() {
                 continue;
             }
             let lost = self.stations[idx].crash(self.now);
@@ -1087,8 +1627,9 @@ impl Engine {
                 self.stats.push_lost(msg);
             }
             self.stats.crashes += 1;
-            self.down[idx] = Some(ordinal + down_slots.max(1));
+            self.hot.down[idx] = Some(ordinal + down_slots.max(1));
             self.backlog_stale = true;
+            self.anchor = None;
         }
     }
 
@@ -1104,14 +1645,27 @@ impl Engine {
             .iter()
             .map(|e| e.change)
             .collect();
+        if self.parked_count > 0 && !changes.is_empty() {
+            // Joins and leaves rewire the fabric under the parked
+            // stations' feet (a leave drops shared state mid-flight, a
+            // join changes who participates in searches): catch everyone
+            // up before applying them.
+            self.wake_all();
+        }
+        // Whatever checkpoint was captured predates the membership changes
+        // about to be applied; drop it rather than rebase onto a stale
+        // epoch.
+        if !changes.is_empty() {
+            self.anchor = None;
+        }
         for change in &changes {
             if let MembershipChange::Join { station } = *change {
                 let idx = station as usize;
-                if self.down[idx].is_none() {
+                if self.hot.down[idx].is_none() {
                     // Already on the fabric: a duplicate join is a no-op.
                     continue;
                 }
-                self.down[idx] = None;
+                self.hot.down[idx] = None;
                 // The join handshake reuses the crash-restart resync
                 // primitive: the station comes up receive-only and stays
                 // off the channel until an epoch anchor stamped after this
@@ -1132,11 +1686,11 @@ impl Engine {
         for change in &changes {
             if let MembershipChange::Leave { station } = *change {
                 let idx = station as usize;
-                if self.down[idx] == Some(ABSENT) {
+                if self.hot.down[idx] == Some(ABSENT) {
                     // Already off the fabric: a duplicate leave is a no-op.
                     continue;
                 }
-                if self.down[idx].is_none() {
+                if self.hot.down[idx].is_none() {
                     // A live station's queue dies with its network module;
                     // a crashed one already lost it at the crash.
                     let lost = self.stations[idx].crash(self.now);
@@ -1144,7 +1698,7 @@ impl Engine {
                         self.stats.push_lost(msg);
                     }
                 }
-                self.down[idx] = Some(ABSENT);
+                self.hot.down[idx] = Some(ABSENT);
                 self.stats.leaves += 1;
                 if let Some(metrics) = self.metrics.as_mut() {
                     metrics.on_membership(false);
@@ -1158,6 +1712,26 @@ impl Engine {
         }
     }
 
+    /// Polls each station in `indices` (skipping fenced-down ones) for the
+    /// slot starting at `now` and gathers the transmitted frames — the one
+    /// transmitter-collection loop shared by the reference stepper and the
+    /// contention chorus. Returns the reusable scratch buffer; callers put
+    /// it back via `self.transmitters` once the slot resolves.
+    fn collect_transmitters(&mut self, indices: &[usize]) -> Vec<Frame> {
+        let mut transmitters = std::mem::take(&mut self.transmitters);
+        transmitters.clear();
+        for &idx in indices {
+            if self.hot.down[idx].is_some() {
+                continue;
+            }
+            self.polls += 1;
+            if let Action::Transmit(frame) = self.stations[idx].poll(self.now) {
+                transmitters.push(frame);
+            }
+        }
+        transmitters
+    }
+
     /// Executes one decision slot (the reference stepper).
     fn step(&mut self) {
         if !self.membership.is_empty() {
@@ -1167,16 +1741,9 @@ impl Engine {
             self.process_fault_transitions();
         }
         self.deliver_due();
-        let mut transmitters = std::mem::take(&mut self.transmitters);
-        transmitters.clear();
-        for (idx, station) in self.stations.iter_mut().enumerate() {
-            if self.down[idx].is_some() {
-                continue;
-            }
-            if let Action::Transmit(frame) = station.poll(self.now) {
-                transmitters.push(frame);
-            }
-        }
+        let active = std::mem::take(&mut self.active);
+        let transmitters = self.collect_transmitters(&active);
+        let had_transmitters = !transmitters.is_empty();
         let slot = Ticks(self.medium.slot_ticks);
         // Attribute the slot before observations mutate the shared
         // automaton (poll never changes phase state; observe does).
@@ -1198,11 +1765,28 @@ impl Engine {
         if self.metrics.is_some() {
             self.observe_metrics(hint, &observation, &slot_faults);
         }
-        for (idx, station) in self.stations.iter_mut().enumerate() {
-            if self.down[idx].is_some() {
+        for &idx in &active {
+            if self.hot.down[idx].is_some() {
                 continue;
             }
-            station.observe(self.now, next_free, &observation);
+            self.stations[idx].observe(self.now, next_free, &observation);
+        }
+        self.active = active;
+        self.record_catchup(CatchUp::Slot {
+            at: self.now,
+            next_free,
+            observation,
+        });
+        if self.parked_count > 0
+            && !had_transmitters
+            && !matches!(observation, Observation::Silence)
+        {
+            // A fault lane turned an otherwise-silent slot into noise with
+            // no transmitter on the channel: no active station need carry
+            // the protocol consequences (every synced witness may be
+            // parked), so the dormancy assumptions cannot be certified —
+            // catch everyone up, after logging the slot they must replay.
+            self.wake_all();
         }
         self.now = next_free;
         self.slot_ordinal += 1;
@@ -1215,7 +1799,7 @@ impl Engine {
         self.stations
             .iter()
             .enumerate()
-            .filter(|(idx, _)| self.down[*idx].is_none())
+            .filter(|(idx, _)| self.hot.down[*idx].is_none())
             .find_map(|(_, station)| station.phase_hint())
     }
 
@@ -1348,9 +1932,15 @@ impl Engine {
             }
             self.pending.pop();
             let idx = msg.source.0 as usize;
-            if self.down[idx].is_some() {
+            if self.hot.down[idx].is_some() {
                 self.stats.push_lost(msg);
             } else {
+                if self.hot.parked[idx] {
+                    // Catch the station up on everything it slept through
+                    // — in channel order, before the delivery — and
+                    // reinstate it in the poll loop.
+                    self.wake_station(idx);
+                }
                 self.stations[idx].deliver(msg);
                 if let Some(metrics) = self.metrics.as_mut() {
                     metrics.note_queue_depth(idx, self.stations[idx].backlog());

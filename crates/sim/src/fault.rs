@@ -123,25 +123,36 @@ impl FaultPlan {
     /// horizon_slots, rates)`. A station already down is not re-crashed:
     /// generated crash intervals never overlap per station.
     pub fn generate(seed: u64, stations: u32, horizon_slots: u64, rates: &FaultRates) -> Self {
+        // Per-lane early-outs: a zero-rate lane can never draw below its
+        // threshold, so skip its `unit()` call per slot — and with every
+        // lane inert, skip the horizon walk entirely. `ddcr run` and the
+        // federation paths call this with all-zero defaults and horizons
+        // in the millions of slots; the plan must cost nothing there.
+        let draw_corrupt = rates.corrupt > 0.0;
+        let draw_erase = rates.erase > 0.0;
+        let draw_crash = rates.crash > 0.0 && rates.down_slots > 0;
+        if !draw_corrupt && !draw_erase && !draw_crash {
+            return FaultPlan::none();
+        }
         let corrupt_lane = fault_seed(seed, 0);
         let erase_lane = fault_seed(seed, 1);
         let crash_lane = fault_seed(seed, 2);
         let mut events = Vec::new();
         let mut down_until = vec![0u64; stations as usize];
         for slot in 0..horizon_slots {
-            if unit(corrupt_lane, slot) < rates.corrupt {
+            if draw_corrupt && unit(corrupt_lane, slot) < rates.corrupt {
                 events.push(FaultEvent {
                     slot,
                     kind: FaultKind::CorruptSlot,
                 });
             }
-            if unit(erase_lane, slot) < rates.erase {
+            if draw_erase && unit(erase_lane, slot) < rates.erase {
                 events.push(FaultEvent {
                     slot,
                     kind: FaultKind::EraseFrame,
                 });
             }
-            if rates.crash > 0.0 && rates.down_slots > 0 {
+            if draw_crash {
                 for station in 0..stations {
                     if down_until[station as usize] > slot {
                         continue;
@@ -418,6 +429,43 @@ mod tests {
     fn zero_rates_generate_nothing() {
         let plan = FaultPlan::generate(7, 8, 100_000, &FaultRates::default());
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn zero_rates_skip_the_horizon_walk_entirely() {
+        // Regression: an all-zero plan must cost O(1), not O(horizon).
+        // This horizon would take years to walk slot by slot; the test
+        // only terminates because `generate` early-outs.
+        let plan = FaultPlan::generate(7, 1024, u64::MAX / 2, &FaultRates::default());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn single_active_lane_matches_full_generation() {
+        // The per-lane guards must not perturb the draws of lanes that
+        // remain active: a corrupt-only plan generated alongside inert
+        // erase/crash lanes is exactly the corrupt subset of a plan where
+        // every lane is live (lanes are seed-separated and independent).
+        let all = FaultRates {
+            corrupt: 0.01,
+            erase: 0.02,
+            crash: 0.001,
+            down_slots: 50,
+        };
+        let corrupt_only = FaultRates {
+            corrupt: 0.01,
+            ..FaultRates::default()
+        };
+        let full = FaultPlan::generate(99, 16, 50_000, &all);
+        let partial = FaultPlan::generate(99, 16, 50_000, &corrupt_only);
+        assert!(!partial.is_empty());
+        let expected: Vec<FaultEvent> = full
+            .events()
+            .iter()
+            .copied()
+            .filter(|e| matches!(e.kind, FaultKind::CorruptSlot))
+            .collect();
+        assert_eq!(partial.events(), expected.as_slice());
     }
 
     #[test]

@@ -80,6 +80,47 @@ pub struct AttemptCycleHint {
     pub contender: Option<u32>,
 }
 
+/// Whether a station needs per-slot engagement at all, or can be parked
+/// by the engine's active-set scheduler (see [`Station::wake_hint`]).
+///
+/// The active-set tier keeps per-slot cost proportional to *contenders*
+/// rather than *population*: a [`WakeHint::Dormant`] station is removed
+/// from the poll loop entirely, its channel observations are deferred into
+/// a catch-up log, and it is replayed in one batch on its next wake (a
+/// delivery, a fault/membership transition, or an engine event that could
+/// invalidate the promise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeHint {
+    /// No promise: the station must stay in the per-slot loops (the
+    /// conservative default, correct for every implementation).
+    Active,
+    /// A standing promise, holding until the next [`Station::deliver`] or
+    /// until broken by a channel event the station itself would react to:
+    ///
+    /// * every [`Station::poll`] answers [`Action::Idle`] regardless of
+    ///   what the channel carries meanwhile;
+    /// * [`Station::backlog`] is `0` and stays `0` under any sequence of
+    ///   deferred observations;
+    /// * [`Station::next_ready`] is `None`, [`Station::hold_hint`] is
+    ///   `Quiet(u64::MAX)`, [`Station::search_hint`] is `Quiet`, and
+    ///   [`Station::attempt_cycle_hint`] is a silent observer compatible
+    ///   with whatever cycle shape the contenders agree on — so the engine
+    ///   may answer tier-gating queries on the station's behalf;
+    /// * the observation entry points ([`Station::observe`],
+    ///   [`Station::skip_silence`], [`Station::skip_busy`],
+    ///   [`Station::skip_search`], [`Station::skip_attempt_cycles`]) may be
+    ///   deferred and replayed later, in channel order with identical
+    ///   arguments, leaving the station in exactly the state immediate
+    ///   calls would have;
+    /// * crucially, the promise may only *stop* holding through an
+    ///   observation — so any channel event that breaks it is visible to
+    ///   the stations the engine kept live, which report `Active` in turn
+    ///   (shared-automaton protocols must therefore answer `Active`
+    ///   whenever the replicated state is outside the regime the promise
+    ///   describes, e.g. mid tree-search or under a burst reservation).
+    Dormant,
+}
+
 /// One resolved decision slot of a contention fast-forward run, recorded so
 /// quiet stations can be caught up exactly (see [`Station::skip_search`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -324,13 +365,78 @@ pub trait Station: Send {
     /// destructively collided attempt slot of width `slot`.
     ///
     /// Called on every live station after a run promised through
-    /// [`Station::attempt_cycle_hint`]; must leave the station bitwise
-    /// identical to observing those `cycles · (probes + 1)` outcomes one
-    /// by one. Never invoked on a station whose hint was `None`, so the
-    /// default no-op is unreachable in practice.
+    /// [`Station::attempt_cycle_hint`] (and replayed from the active-set
+    /// catch-up log on wake); must leave the station bitwise identical to
+    /// observing those `cycles · (probes + 1)` outcomes one by one. Only
+    /// ever invoked on stations whose hint (or dormancy promise) covered
+    /// the run; the default replays the outcomes — correct for every
+    /// implementation, O(1) overrides are an optimisation.
     fn skip_attempt_cycles(&mut self, from: Ticks, cycles: u64, probes: u64, slot: Ticks) {
-        let _ = (from, cycles, probes, slot);
+        let mut at = from;
+        for _ in 0..cycles {
+            for _ in 0..probes {
+                self.observe(at, at + slot, &Observation::Silence);
+                at += slot;
+            }
+            self.observe(at, at + slot, &Observation::Collision { survivor: None });
+            at += slot;
+        }
     }
+
+    /// Active-set scheduler hint: whether this station can be parked out
+    /// of the per-slot loops entirely (see [`WakeHint`]).
+    ///
+    /// Queried by the engine at the end of each resolved operation when
+    /// the active-set tier is enabled. Stations update the answer on
+    /// [`Station::deliver`] and on observations (it is a pure function of
+    /// their state); a parked station is never polled and receives its
+    /// deferred observations in one batched catch-up on its next wake.
+    /// The default `Active` never parks and is correct for every
+    /// implementation.
+    fn wake_hint(&self) -> WakeHint {
+        WakeHint::Active
+    }
+
+    /// Publishes an epoch-anchored resynchronization checkpoint for the
+    /// active-set scheduler: `(epoch start, opaque checkpoint)`, where the
+    /// checkpoint describes the shared replica state every synced station
+    /// agrees on, reconstructible from the epoch boundary plus the
+    /// observation sequence since it (the same soundness argument that
+    /// backs crash-restart resynchronization).
+    ///
+    /// The engine captures a checkpoint from a fully caught-up station
+    /// whenever one parks or wakes, and uses it to short-circuit later
+    /// wakes: a station parked since before the epoch boundary is rebased
+    /// onto the boundary through [`Station::resync_rebase`], replays only
+    /// the catch-up tail from the boundary on, and adopts the shared
+    /// counters through [`Station::resync_adopt`] — `O(final epoch)` work
+    /// instead of `O(dormant span)`. The default `None` keeps every wake on
+    /// the exact full-replay path.
+    fn resync_checkpoint(&self) -> Option<(Ticks, Box<dyn std::any::Any + Send>)> {
+        None
+    }
+
+    /// Rebases this (provably silent, parked) station onto the epoch
+    /// boundary described by `checkpoint`, discarding its stale shared
+    /// automaton view. Returns `true` when the checkpoint was understood
+    /// and the rebase happened; `false` falls back to full replay.
+    ///
+    /// After a successful rebase the engine replays the catch-up tail from
+    /// the epoch boundary on through the regular observation entry points,
+    /// then calls [`Station::resync_adopt`] with the same checkpoint at the
+    /// log position it was captured at. The default refuses.
+    fn resync_rebase(&mut self, _checkpoint: &dyn std::any::Any) -> bool {
+        false
+    }
+
+    /// Adopts the shared (replica-invariant) counter block from
+    /// `checkpoint`, overwriting whatever the tail replay accumulated —
+    /// the checkpoint spans the whole dormant prefix, including operations
+    /// before the epoch boundary that the rebase discarded. Private
+    /// counters stay untouched: the station was provably silent. Only ever
+    /// called after a successful [`Station::resync_rebase`]. The default is
+    /// a no-op.
+    fn resync_adopt(&mut self, _checkpoint: &dyn std::any::Any) {}
 }
 
 #[cfg(test)]

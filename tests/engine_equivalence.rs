@@ -1,13 +1,14 @@
 //! Fast-forward equivalence: the optimized engine (idle, busy-period, and
-//! contention fast-forward on, the defaults) and the retained reference
-//! stepper ([`Engine::set_fast_forward`]`(false)` +
-//! [`Engine::set_busy_fast_forward`]`(false)` +
-//! [`Engine::set_contention_fast_forward`]`(false)`) must be bitwise
-//! indistinguishable — identical channel traces, statistics, delivery
-//! schedules, final clocks, and timeout outcomes — across every protocol,
-//! random workload, collision mode, and fault plan. The three switches are
-//! exercised across the full 2³ power set so a regression in any path (or
-//! any interaction between paths) bisects cleanly.
+//! contention fast-forward plus the active-set scheduler on, the defaults)
+//! and the retained reference stepper (every one of
+//! [`Engine::set_fast_forward`], [`Engine::set_busy_fast_forward`],
+//! [`Engine::set_contention_fast_forward`], and [`Engine::set_active_set`]
+//! forced to `false`) must be bitwise indistinguishable — identical channel
+//! traces, statistics, delivery schedules, final clocks, and timeout
+//! outcomes — across every protocol, random workload, collision mode, and
+//! fault plan. The four switches are exercised across the full 2⁴ power set
+//! so a regression in any path (or any interaction between paths) bisects
+//! cleanly.
 
 use ddcr_baseline::{CsmaCdStation, DcrStation, NpEdfOracle, QueueDiscipline};
 use ddcr_core::{BurstConfig, DdcrConfig, DdcrStation, StaticAllocation};
@@ -25,21 +26,30 @@ enum Proto {
     NpEdf,
 }
 
-/// (idle fast-forward, busy fast-forward, contention fast-forward) switch
-/// settings. The reference stepper is `(false, false, false)`; the
-/// production default is `(true, true, true)`; the remaining combinations
-/// isolate each optimisation and each pairwise interaction for bisection.
-type Steppers = (bool, bool, bool);
+/// (idle fast-forward, busy fast-forward, contention fast-forward,
+/// active-set scheduler) switch settings. The reference stepper is
+/// `(false, false, false, false)`; the production default is
+/// `(true, true, true, true)`; the remaining combinations isolate each
+/// optimisation and every interaction between them for bisection.
+type Steppers = (bool, bool, bool, bool);
 
-const REFERENCE: Steppers = (false, false, false);
-const OPTIMIZED: [Steppers; 7] = [
-    (true, true, true),
-    (true, true, false),
-    (true, false, true),
-    (false, true, true),
-    (true, false, false),
-    (false, true, false),
-    (false, false, true),
+const REFERENCE: Steppers = (false, false, false, false);
+const OPTIMIZED: [Steppers; 15] = [
+    (true, true, true, true),
+    (true, true, true, false),
+    (true, true, false, true),
+    (true, false, true, true),
+    (false, true, true, true),
+    (true, true, false, false),
+    (true, false, true, false),
+    (false, true, true, false),
+    (true, false, false, true),
+    (false, true, false, true),
+    (false, false, true, true),
+    (true, false, false, false),
+    (false, true, false, false),
+    (false, false, true, false),
+    (false, false, false, true),
 ];
 
 fn build_engine(proto: Proto, z: u32, medium: MediumConfig, steppers: Steppers) -> Engine {
@@ -47,6 +57,7 @@ fn build_engine(proto: Proto, z: u32, medium: MediumConfig, steppers: Steppers) 
     engine.set_fast_forward(steppers.0);
     engine.set_busy_fast_forward(steppers.1);
     engine.set_contention_fast_forward(steppers.2);
+    engine.set_active_set(steppers.3);
     engine.set_trace(Trace::enabled());
     match proto {
         Proto::Ddcr { theta, bursting } => {
@@ -336,15 +347,15 @@ proptest! {
         let generated = FaultPlan::generate(seed, z, 50_000, &FaultRates::default());
         prop_assert!(generated.is_empty(), "zero rates must generate no events");
 
-        let plain = run_once(proto, z, medium, &arrivals, true, (true, true, true));
+        let plain = run_once(proto, z, medium, &arrivals, true, (true, true, true, true));
         let empty_fast = run_with_plan(
-            proto, z, medium, &arrivals, true, (true, true, true), Some(FaultPlan::none()),
+            proto, z, medium, &arrivals, true, (true, true, true, true), Some(FaultPlan::none()),
         );
         let empty_reference = run_with_plan(
             proto, z, medium, &arrivals, true, REFERENCE, Some(FaultPlan::none()),
         );
         let generated_fast = run_with_plan(
-            proto, z, medium, &arrivals, true, (true, true, true), Some(generated),
+            proto, z, medium, &arrivals, true, (true, true, true, true), Some(generated),
         );
         prop_assert_eq!(&plain, &empty_fast);
         prop_assert_eq!(&plain, &empty_reference);
@@ -373,7 +384,7 @@ fn idle_heavy_32_station_network_is_bitwise_equivalent() {
             theta,
             bursting: false,
         };
-        let fast = run_once(proto, 32, medium, &arrivals, false, (true, true, true));
+        let fast = run_once(proto, 32, medium, &arrivals, false, (true, true, true, true));
         let reference = run_once(proto, 32, medium, &arrivals, false, REFERENCE);
         assert_eq!(fast, reference, "theta={theta}");
         // The run really was idle-dominated — the fast path had work to do.
@@ -411,7 +422,7 @@ fn loaded_32_station_burst_network_is_bitwise_equivalent() {
 
     // Busy-skip really fired: rerun the default configuration with metrics
     // on and check the telemetry counters.
-    let mut engine = build_engine(proto, 32, medium, (true, true, true));
+    let mut engine = build_engine(proto, 32, medium, (true, true, true, true));
     engine.enable_metrics();
     engine.add_arrivals(arrivals.iter().copied()).unwrap();
     engine.run_to_completion(Ticks(60_000_000)).unwrap();
@@ -464,7 +475,7 @@ fn contention_heavy_32_station_network_is_bitwise_equivalent() {
 
         // The contention tier really fired, and it did the bulk of the
         // contended slots: rerun the default configuration with metrics on.
-        let mut engine = build_engine(proto, 32, medium, (true, true, true));
+        let mut engine = build_engine(proto, 32, medium, (true, true, true, true));
         engine.enable_metrics();
         engine.add_arrivals(arrivals.iter().copied()).unwrap();
         engine.run_to_completion(Ticks(60_000_000)).unwrap();
@@ -522,7 +533,7 @@ fn saturated_32_station_attempt_cycles_are_bitwise_equivalent() {
     // configuration with metrics on and check that the overwhelming
     // majority of decision slots were resolved through the contention
     // tier's bulk skip rather than stepped.
-    let mut engine = build_engine(proto, 32, medium, (true, true, true));
+    let mut engine = build_engine(proto, 32, medium, (true, true, true, true));
     engine.enable_metrics();
     engine.add_arrivals(arrivals.iter().copied()).unwrap();
     engine.run_to_completion(Ticks(60_000_000)).unwrap();
@@ -536,4 +547,70 @@ fn saturated_32_station_attempt_cycles_are_bitwise_equivalent() {
         metrics.search_skipped_slots,
         total_slots
     );
+}
+
+/// Large-n sparse spot check — the regime the active-set scheduler exists
+/// for: 1024 DDCR stations of which only 16 ever hold a message, so at any
+/// decision slot the overwhelming majority of the population is dormant.
+/// The active tier must resolve the run bitwise-equal to the reference
+/// stepper while polling fewer than 10% of station-slots (station-slots =
+/// decision slots × population; the reference pays all of them).
+#[test]
+fn sparse_1024_station_network_polls_under_ten_percent() {
+    const Z: u32 = 1024;
+    let medium = MediumConfig::ethernet();
+    let proto = Proto::Ddcr {
+        theta: 0,
+        bursting: false,
+    };
+    // 16 contenders spread across the static tree, arrivals staggered so
+    // the run mixes idle stretches, tree searches, and busy slots.
+    let arrivals: Vec<Message> = (0..16u64)
+        .map(|i| Message {
+            id: MessageId(i),
+            source: SourceId((i * 61 % u64::from(Z)) as u32),
+            class: ClassId(0),
+            bits: 4_000,
+            arrival: Ticks(i * 120_000),
+            deadline: Ticks(30_000_000),
+        })
+        .collect();
+
+    let digest = |mut engine: Engine| {
+        engine.add_arrivals(arrivals.iter().copied()).unwrap();
+        let outcome = engine.run_to_completion(Ticks(60_000_000));
+        let polls = engine.poll_count();
+        let replays = engine.replay_count();
+        let slots = engine.slot_ordinal();
+        let run = RunDigest {
+            outcome: Some(outcome),
+            now: engine.now(),
+            events: engine.trace().events().to_vec(),
+            stats: engine.into_stats(),
+        };
+        (run, polls, replays, slots)
+    };
+
+    let (active, active_polls, active_replays, slots) =
+        digest(build_engine(proto, Z, medium, (true, true, true, true)));
+    let (reference, reference_polls, _, _) = digest(build_engine(proto, Z, medium, REFERENCE));
+
+    assert_eq!(active, reference);
+    assert_eq!(active.stats.deliveries.len(), 16);
+
+    let station_slots = slots * u64::from(Z);
+    assert!(
+        active_polls < station_slots / 10,
+        "active tier polled {active_polls} of {station_slots} station-slots"
+    );
+    // Wake-time catch-up must ride the epoch-anchored shortcut, not degrade
+    // into replaying the whole deferred log for every waking station: the
+    // total entries replayed must stay well under one-log-per-station.
+    assert!(
+        active_replays < station_slots / 10,
+        "active tier replayed {active_replays} catch-up entries \
+         over {station_slots} station-slots"
+    );
+    // The comparison is meaningful: the reference really pays O(n) per slot.
+    assert!(reference_polls >= station_slots);
 }
